@@ -1,0 +1,61 @@
+// Ablation of §3.3: the MPI_Test frequency trade-off.  Sweeps a common
+// value F for Fy/Fp/Fu/Fx with everything else fixed: too few tests stall
+// the all-to-all rounds (long Wait), too many burn time polling (long
+// Test).
+//
+//   ./bench_ablation_testfreq [--ranks=8] [--n=80] [--platform=umd]
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_int("ranks", 8));
+  const long long n = cli.get_int("n", cli.has("quick") ? 64 : 80);
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+  const sim::Platform platform =
+      sim::Platform::by_name(cli.get_string("platform", "umd"));
+  const core::Dims dims{static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n)};
+
+  std::printf("=== Ablation (§3.3): MPI_Test frequency, %d ranks, %lld^3, "
+              "%s ===\n\n",
+              p, n, platform.name.c_str());
+
+  sim::Cluster cluster(p, platform);
+  util::Table table({"F (all four)", "total (s)", "Wait (s)", "Test (s)",
+                     "tests/rank"});
+  for (const long long f : {0ll, 1ll, 2ll, 4ll, 8ll, 16ll, 32ll, 64ll,
+                            256ll, 1024ll}) {
+    core::Params prm = core::Params::heuristic(dims, p).resolved(dims, p);
+    prm.Fy = prm.Fp = prm.Fu = prm.Fx = f;
+    core::Plan3dOptions opts;
+    opts.method = core::Method::New;
+    opts.params = prm;
+    const core::Plan3d plan(dims, p, opts);
+    const bench::MeasureResult m = bench::run_full_fft(cluster, plan, runs);
+
+    // Count test calls in a separate instrumented run.
+    std::uint64_t tests = 0;
+    std::vector<fft::ComplexVector> slabs(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r)
+      slabs[static_cast<std::size_t>(r)].resize(plan.local_elements(r));
+    cluster.run([&](sim::Comm& comm) {
+      plan.execute(comm, slabs[static_cast<std::size_t>(comm.rank())].data());
+      if (comm.rank() == 0) tests = comm.test_calls();
+    });
+
+    table.add_row({std::to_string(f), util::Table::num(m.seconds, 5),
+                   util::Table::num(m.breakdown[core::Step::Wait], 5),
+                   util::Table::num(m.breakdown[core::Step::Test], 5),
+                   std::to_string(tests)});
+  }
+  table.print(std::cout);
+  std::printf("\n(expected: Wait shrinks as F grows, Test grows with F; "
+              "the optimum sits between the extremes)\n");
+  return 0;
+}

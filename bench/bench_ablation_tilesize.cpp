@@ -1,0 +1,52 @@
+// Ablation of §3.1: the tile size T.  Small tiles give fine-grained
+// overlap but many small messages (per-message latency and injection
+// overhead dominate); large tiles amortize messaging but leave little to
+// overlap.
+//
+//   ./bench_ablation_tilesize [--ranks=8] [--n=80] [--platform=umd]
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_int("ranks", 8));
+  const long long n = cli.get_int("n", cli.has("quick") ? 64 : 80);
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+  const sim::Platform platform =
+      sim::Platform::by_name(cli.get_string("platform", "umd"));
+  const core::Dims dims{static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n)};
+
+  std::printf("=== Ablation (§3.1): tile size T, %d ranks, %lld^3, %s "
+              "===\n\n",
+              p, n, platform.name.c_str());
+
+  sim::Cluster cluster(p, platform);
+  util::Table table({"T", "tiles", "total (s)", "Wait (s)",
+                     "Ialltoall (s)"});
+  for (long long t = 1; t <= n; t *= 2) {
+    core::Params prm = core::Params::heuristic(dims, p).resolved(dims, p);
+    prm.T = t;
+    prm.Pz = std::min(prm.Pz, t);
+    prm.Uz = std::min(prm.Uz, t);
+    core::Plan3dOptions opts;
+    opts.method = core::Method::New;
+    opts.params = prm;
+    const core::Plan3d plan(dims, p, opts);
+    const bench::MeasureResult m = bench::run_full_fft(cluster, plan, runs);
+    table.add_row({std::to_string(t),
+                   std::to_string((n + t - 1) / t),
+                   util::Table::num(m.seconds, 5),
+                   util::Table::num(m.breakdown[core::Step::Wait], 5),
+                   util::Table::num(m.breakdown[core::Step::Ialltoall], 5)});
+  }
+  table.print(std::cout);
+  std::printf("\n(expected: a U-shape — tiny T pays per-message overheads, "
+              "T = Nz degenerates to one blocking exchange)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "bench/bench_common.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace offt::bench {
+
+MeasureResult run_full_fft(sim::Cluster& cluster, const core::Plan3d& plan,
+                           int runs) {
+  const int p = cluster.size();
+  std::vector<fft::ComplexVector> pristine(static_cast<std::size_t>(p));
+  std::vector<fft::ComplexVector> work(static_cast<std::size_t>(p));
+  util::Rng rng(0xbe0c);
+  for (int r = 0; r < p; ++r) {
+    const std::size_t n = plan.local_elements(r);
+    pristine[static_cast<std::size_t>(r)].resize(n);
+    work[static_cast<std::size_t>(r)].resize(n);
+    for (auto& v : pristine[static_cast<std::size_t>(r)])
+      v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+
+  MeasureResult best;
+  best.seconds = 1e300;
+  for (int run = 0; run < std::max(1, runs); ++run) {
+    double makespan = 0.0;
+    core::StepBreakdown bd_avg;
+    cluster.run([&](sim::Comm& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      std::memcpy(work[r].data(), pristine[r].data(),
+                  pristine[r].size() * sizeof(fft::Complex));
+      comm.barrier();
+      core::StepBreakdown bd;
+      const double t0 = comm.now();
+      plan.execute(comm, work[r].data(), &bd);
+      const double dt = comm.now() - t0;
+      const double m = comm.allreduce_max(dt);
+      const core::StepBreakdown avg = bd.averaged(comm);
+      if (comm.rank() == 0) {
+        makespan = m;
+        bd_avg = avg;
+      }
+    });
+    if (makespan < best.seconds) {
+      best.seconds = makespan;
+      best.breakdown = bd_avg;
+    }
+  }
+  return best;
+}
+
+TunedMethod tune_method(sim::Cluster& cluster, const core::Dims& dims,
+                        core::Method method, int evals, std::uint64_t seed) {
+  TunedMethod out;
+  if (method == core::Method::FftwLike) {
+    // The FFTW baseline has no pipeline parameters; its tuning is the
+    // FFTW_PATIENT analogue (§4.1): plan the 1-D kernels at PATIENT rigor
+    // and measure trial executions of the whole distributed transform,
+    // the way FFTW's planner times candidate plans on the real problem.
+    const double t0 = util::wall_now();
+    core::Plan3dOptions opts;
+    opts.method = method;
+    opts.planning = fft::Planning::Patient;
+    const core::Plan3d probe(dims, cluster.size(), opts);
+    run_full_fft(cluster, probe, /*runs=*/6);
+    out.planning_wall_seconds = util::wall_now() - t0;
+    out.params = core::Params::heuristic(dims, cluster.size())
+                     .resolved(dims, cluster.size());
+    return out;
+  }
+
+  core::FftTuneOptions topts;
+  topts.max_evaluations = evals;
+  topts.seed = seed;
+  topts.planning = fft::Planning::Measure;
+  topts.reps = 2;  // best-of-2 per evaluation suppresses host noise
+  const core::FftTuneResult res =
+      core::tune_fft3d(cluster, dims, method, topts);
+  out.params = res.best_params;
+  out.tuned_section_seconds = res.best_seconds;
+  out.tune_wall_seconds = res.outcome.wall_seconds;
+  out.planning_wall_seconds = res.fft_planning_seconds;
+  out.evaluations = res.outcome.search.evaluations;
+  return out;
+}
+
+CellResult bench_cell(sim::Cluster& cluster, const core::Dims& dims,
+                      core::Method method, int evals, int runs,
+                      std::uint64_t seed) {
+  CellResult cell;
+  cell.tuned = tune_method(cluster, dims, method, evals, seed);
+  core::Plan3dOptions opts;
+  opts.method = method;
+  opts.params = cell.tuned.params;
+  const core::Plan3d plan(dims, cluster.size(), opts);
+  cell.measured = run_full_fft(cluster, plan, runs);
+  return cell;
+}
+
+Sweep parse_sweep(const util::Cli& cli, std::vector<long long> default_ranks,
+                  std::vector<long long> default_sizes,
+                  std::vector<std::string> default_platforms,
+                  int default_evals, int default_runs) {
+  Sweep s;
+  if (cli.has("quick")) {
+    default_ranks.resize(1);
+    if (default_sizes.size() > 2) default_sizes.resize(2);
+    default_evals = std::min(default_evals, 10);
+    default_runs = std::min(default_runs, 2);
+  }
+  s.ranks = cli.get_int_list("ranks", default_ranks);
+  s.sizes = cli.get_int_list("sizes", default_sizes);
+  s.evals = static_cast<int>(cli.get_int("evals", default_evals));
+  s.runs = static_cast<int>(cli.get_int("runs", default_runs));
+  if (cli.has("platform")) {
+    s.platforms = {cli.get_string("platform", "umd")};
+  } else {
+    s.platforms = std::move(default_platforms);
+  }
+  return s;
+}
+
+}  // namespace offt::bench

@@ -1,0 +1,123 @@
+// Extension bench (paper §2.2 / §7): 1-D (slab) vs 2-D (pencil)
+// decomposition.
+//
+// §2.2's claim: the 2-D decomposition scales to more ranks (up to N^2)
+// but pays for two all-to-all steps, so "depending on the system
+// environment, 1-D decomposition can be a better choice".  This bench
+// sweeps rank counts on both simulated platforms and reports where the
+// crossover falls — and what the overlapped NEW slab pipeline adds on
+// top of the blocking slab baseline.
+//
+//   ./bench_ext_pencil_vs_slab [--platform=umd] [--n=64]
+//                              [--ranks=4,8,16] [--runs=3]
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/pencil3d.hpp"
+
+using namespace offt;
+
+namespace {
+
+// Near-square process grid for p ranks.
+std::pair<int, int> grid_for(int p) {
+  int rows = 1;
+  for (int r = 1; r * r <= p; ++r)
+    if (p % r == 0) rows = r;
+  return {rows, p / rows};
+}
+
+double run_pencil(sim::Cluster& cluster, const core::Pencil3d& plan,
+                  int runs) {
+  const int p = cluster.size();
+  std::vector<fft::ComplexVector> slabs(static_cast<std::size_t>(p));
+  util::Rng rng(5);
+  for (int r = 0; r < p; ++r) {
+    slabs[static_cast<std::size_t>(r)].resize(plan.local_elements(r));
+    for (auto& v : slabs[static_cast<std::size_t>(r)])
+      v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  }
+  double best = 1e300;
+  for (int run = 0; run < runs; ++run) {
+    double makespan = 0;
+    cluster.run([&](sim::Comm& comm) {
+      comm.barrier();
+      const double t0 = comm.now();
+      plan.execute(comm,
+                   slabs[static_cast<std::size_t>(comm.rank())].data());
+      const double dt = comm.allreduce_max(comm.now() - t0);
+      if (comm.rank() == 0) makespan = dt;
+    });
+    best = std::min(best, makespan);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const long long n = cli.get_int("n", cli.has("quick") ? 48 : 64);
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+  const int evals = static_cast<int>(cli.get_int("evals", 25));
+  const auto ranks = cli.get_int_list(
+      "ranks", cli.has("quick") ? std::vector<long long>{4, 16}
+                                : std::vector<long long>{4, 8, 16, 32});
+  const core::Dims dims{static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n)};
+
+  std::vector<std::string> platforms{"umd", "hopper"};
+  if (cli.has("platform")) platforms = {cli.get_string("platform", "umd")};
+
+  std::printf("=== Extension (§2.2/§7): slab (1-D) vs pencil (2-D) "
+              "decomposition, N=%lld^3 ===\n\n",
+              n);
+
+  for (const std::string& pname : platforms) {
+    const sim::Platform platform = sim::Platform::by_name(pname);
+    util::Table table({"p", "grid", "slab FFTW (s)", "slab NEW (s)",
+                       "pencil (s)", "pencil/slabNEW"});
+    for (const long long p : ranks) {
+      sim::Cluster cluster(static_cast<int>(p), platform);
+      const auto [rows, cols] = grid_for(static_cast<int>(p));
+
+      // Slab methods (skip when the slab decomposition runs out of rows).
+      double t_fftw = -1, t_new = -1;
+      if (p <= n) {
+        core::Plan3dOptions fopts;
+        fopts.method = core::Method::FftwLike;
+        fopts.planning = fft::Planning::Measure;
+        const core::Plan3d fftw_plan(dims, static_cast<int>(p), fopts);
+        t_fftw = bench::run_full_fft(cluster, fftw_plan, runs).seconds;
+
+        const bench::TunedMethod tuned = bench::tune_method(
+            cluster, dims, core::Method::New, evals, 7);
+        core::Plan3dOptions nopts;
+        nopts.method = core::Method::New;
+        nopts.params = tuned.params;
+        const core::Plan3d new_plan(dims, static_cast<int>(p), nopts);
+        t_new = bench::run_full_fft(cluster, new_plan, runs).seconds;
+      }
+
+      const core::Pencil3d pencil(dims, rows, cols);
+      const double t_pencil = run_pencil(cluster, pencil, runs);
+
+      table.add_row(
+          {std::to_string(p),
+           std::to_string(rows) + "x" + std::to_string(cols),
+           t_fftw < 0 ? "n/a" : util::Table::num(t_fftw, 4),
+           t_new < 0 ? "n/a" : util::Table::num(t_new, 4),
+           util::Table::num(t_pencil, 4),
+           t_new < 0 ? "-" : util::Table::num(t_pencil / t_new, 2) + "x"});
+    }
+    std::printf("--- platform: %s ---\n", platform.name.c_str());
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("(expected: the pencil pays for its second all-to-all at "
+              "small p — 1-D wins there, per §2.2 — while only the pencil "
+              "keeps scaling once p approaches and passes N)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5: cumulative distribution of the tunable-section execution time
+// over random parameter configurations (paper: 200 configs, 16 ranks,
+// 256^3; ~3x spread between best and worst).
+//
+//   ./bench_fig5_random_cdf [--ranks=8] [--n=64] [--configs=200]
+//                           [--platform=umd]
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_int("ranks", 8));
+  const long long n = cli.get_int("n", 64);
+  const int configs =
+      static_cast<int>(cli.get_int("configs", cli.has("quick") ? 50 : 200));
+  const sim::Platform platform =
+      sim::Platform::by_name(cli.get_string("platform", "umd"));
+  const core::Dims dims{static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n)};
+
+  std::printf("=== Figure 5: CDF of the 3-D FFT time over %d random "
+              "configurations ===\n",
+              configs);
+  std::printf("(%d ranks, %lld^3 elements, %s; FFTz and Transpose excluded "
+              "as in the paper)\n\n",
+              p, n, platform.name.c_str());
+
+  sim::Cluster cluster(p, platform);
+  const core::FftTuneSpace ts =
+      core::make_tune_space(dims, p, core::Method::New);
+  core::FftTuneOptions opts;
+  const tune::Objective obj = core::make_fft3d_objective(cluster, ts, opts);
+
+  util::Rng rng(505);
+  std::vector<double> samples;
+  while (static_cast<int>(samples.size()) < configs) {
+    const tune::Config c = ts.space.random_config(rng);
+    if (!ts.constraint(c)) continue;  // feasible configs only, as measured
+    samples.push_back(obj(c));
+  }
+
+  std::sort(samples.begin(), samples.end());
+  util::Table table({"cumulative fraction", "time (s)"});
+  for (const double q : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                         1.0}) {
+    const std::size_t idx = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    table.add_row({util::Table::num(q, 1), util::Table::num(samples[idx], 5)});
+  }
+  table.print(std::cout);
+
+  const double spread = samples.back() / samples.front();
+  std::printf("\nbest %.5f s, worst %.5f s -> spread %.2fx\n",
+              samples.front(), samples.back(), spread);
+  std::printf("(paper shape: ~3x spread between best and worst random "
+              "configuration)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8: per-step performance breakdown of NEW, NEW-0, TH and TH-0 at
+// one setting (paper: p = 32, N = 640^3 on both machines; large-scale
+// p = 256, N = 2048^3).
+//
+// Paper shape to reproduce:
+//   * NEW-0's Wait is large (the exposed all-to-all) and roughly matches
+//     its overlappable compute (FFTy+Pack+Unpack+FFTx);
+//   * NEW shrinks Wait to near zero — near-perfect overlap;
+//   * TH keeps a long Wait because Unpack+FFTx never overlap;
+//   * TH's Transpose is slower (naive kernel) and its Pack/FFTx slower
+//     (no loop tiling).
+//
+//   ./bench_fig8_breakdown [--ranks=8] [--n=96] [--platform=umd]
+//                          [--evals=60] [--runs=3]
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_int("ranks", 8));
+  const long long n = cli.get_int("n", cli.has("quick") ? 64 : 96);
+  const int evals = static_cast<int>(cli.get_int("evals", 60));
+  const int runs = static_cast<int>(cli.get_int("runs", 3));
+  const core::Dims dims{static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(n)};
+
+  std::vector<std::string> platforms{"umd", "hopper"};
+  if (cli.has("platform")) platforms = {cli.get_string("platform", "umd")};
+
+  for (const std::string& pname : platforms) {
+    const sim::Platform platform = sim::Platform::by_name(pname);
+    sim::Cluster cluster(p, platform);
+
+    std::printf("=== Figure 8 (%s): performance breakdown, p=%d, N=%lld^3 "
+                "===\n\n",
+                platform.name.c_str(), p, n);
+
+    // Tune NEW and TH once; the -0 variants reuse the tuned parameters
+    // with the window/test knobs zeroed, exactly like the paper.
+    const bench::TunedMethod tuned_new =
+        bench::tune_method(cluster, dims, core::Method::New, evals, 11);
+    const bench::TunedMethod tuned_th =
+        bench::tune_method(cluster, dims, core::Method::Th, evals, 12);
+
+    struct Variant {
+      const char* name;
+      core::Method method;
+      core::Params params;
+    };
+    const std::vector<Variant> variants = {
+        {"NEW", core::Method::New, tuned_new.params},
+        {"NEW-0", core::Method::New0, tuned_new.params},
+        {"TH", core::Method::Th, tuned_th.params},
+        {"TH-0", core::Method::Th0, tuned_th.params},
+    };
+
+    util::Table table({"step", "NEW", "NEW-0", "TH", "TH-0"});
+    std::vector<core::StepBreakdown> bds;
+    std::vector<double> totals;
+    for (const Variant& v : variants) {
+      core::Plan3dOptions opts;
+      opts.method = v.method;
+      opts.params = v.params;
+      const core::Plan3d plan(dims, p, opts);
+      const bench::MeasureResult m = bench::run_full_fft(cluster, plan, runs);
+      bds.push_back(m.breakdown);
+      totals.push_back(m.seconds);
+    }
+    for (std::size_t s = 0; s < core::kStepCount; ++s) {
+      std::vector<std::string> row{
+          core::step_name(static_cast<core::Step>(s))};
+      for (const auto& bd : bds)
+        row.push_back(util::Table::num(bd.seconds[s], 5));
+      table.add_row(std::move(row));
+    }
+    std::vector<std::string> total_row{"TOTAL"};
+    for (const double t : totals)
+      total_row.push_back(util::Table::num(t, 5));
+    table.add_row(std::move(total_row));
+    table.print(std::cout);
+
+    const double wait_new = bds[0][core::Step::Wait];
+    const double wait_new0 = bds[1][core::Step::Wait];
+    const double wait_th = bds[2][core::Step::Wait];
+    std::printf("\noverlap efficiency: NEW hides %.0f%% of NEW-0's wait "
+                "(NEW %.5f s vs NEW-0 %.5f s); TH only reaches %.5f s\n\n",
+                100.0 * (1.0 - wait_new / std::max(wait_new0, 1e-12)),
+                wait_new, wait_new0, wait_th);
+  }
+  std::printf("(paper shape: NEW's Wait near zero; TH's Wait long; TH pays "
+              "extra in Transpose)\n");
+  return 0;
+}

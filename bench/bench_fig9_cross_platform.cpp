@@ -1,0 +1,122 @@
+// Figure 9: cross-platform test — run each platform with the parameter
+// configuration tuned for the *other* platform (CROSS) and compare
+// against the natively tuned configuration (NEW).
+//
+// Paper shape to reproduce: NEW >= CROSS everywhere (natively tuned wins,
+// by ~10% on UMD-Cluster and up to ~20% on Hopper at p=32, 512^3).
+//
+//   ./bench_fig9_cross_platform [--ranks=8,16] [--sizes=64,96,112]
+//                               [--evals=60] [--runs=3]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::Sweep sweep = bench::parse_sweep(
+      cli, {8, 16}, {64, 96, 112}, {"umd", "hopper"},
+      /*default_evals=*/60, /*default_runs=*/7);
+
+  std::printf("=== Figure 9: cross-platform test (NEW = native tuning, "
+              "CROSS = other platform's tuning) ===\n\n");
+
+  const sim::Platform umd = sim::Platform::umd_cluster();
+  const sim::Platform hopper = sim::Platform::hopper();
+
+  // Tune on both platforms for every setting.
+  std::map<std::pair<long long, long long>,
+           std::pair<core::Params, core::Params>>
+      tuned;  // (p, n) -> (umd params, hopper params)
+  for (const long long p : sweep.ranks) {
+    sim::Cluster cu(static_cast<int>(p), umd);
+    sim::Cluster ch(static_cast<int>(p), hopper);
+    for (const long long n : sweep.sizes) {
+      const core::Dims dims{static_cast<std::size_t>(n),
+                            static_cast<std::size_t>(n),
+                            static_cast<std::size_t>(n)};
+      // The paper runs five auto-tunings per setting and keeps the best;
+      // we use three attempts per platform, selected by a measured run on
+      // the tuning platform itself.
+      auto best_tuned = [&](sim::Cluster& cluster,
+                            std::uint64_t seed_base) {
+        core::Params best;
+        double best_t = 1e300;
+        for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+          const core::Params cand =
+              bench::tune_method(cluster, dims, core::Method::New,
+                                 sweep.evals, seed_base + attempt)
+                  .params;
+          core::Plan3dOptions opts;
+          opts.method = core::Method::New;
+          opts.params = cand;
+          const core::Plan3d plan(dims, static_cast<int>(p), opts);
+          const double t =
+              bench::run_full_fft(cluster, plan, sweep.runs).seconds;
+          if (t < best_t) {
+            best_t = t;
+            best = cand;
+          }
+        }
+        return best;
+      };
+      const core::Params pu = best_tuned(cu, 21);
+      const core::Params ph = best_tuned(ch, 121);
+      tuned[{p, n}] = {pu, ph};
+      std::printf("  tuned p=%lld N=%lld: umd %s | hopper %s\n", p, n,
+                  pu.to_string().c_str(), ph.to_string().c_str());
+    }
+  }
+  std::printf("\n");
+
+  for (const bool on_umd : {true, false}) {
+    const sim::Platform& platform = on_umd ? umd : hopper;
+    util::Table table({"p", "N^3", "NEW (native)", "CROSS (other)",
+                       "NEW/CROSS"});
+    double geomean_log = 0.0;
+    int cells = 0;
+    for (const long long p : sweep.ranks) {
+      sim::Cluster cluster(static_cast<int>(p), platform);
+      for (const long long n : sweep.sizes) {
+        const core::Dims dims{static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)};
+        const auto& [pu, ph] = tuned[{p, n}];
+        const core::Params& native = on_umd ? pu : ph;
+        const core::Params& cross = on_umd ? ph : pu;
+
+        auto measure = [&](const core::Params& prm) {
+          core::Plan3dOptions opts;
+          opts.method = core::Method::New;
+          opts.params = prm;
+          const core::Plan3d plan(dims, static_cast<int>(p), opts);
+          return bench::run_full_fft(cluster, plan, sweep.runs).seconds;
+        };
+        const double t_native = measure(native);
+        const double t_cross = measure(cross);
+        geomean_log += std::log(t_cross / t_native);
+        ++cells;
+        table.add_row({std::to_string(p), std::to_string(n) + "^3",
+                       util::Table::num(t_native, 4),
+                       util::Table::num(t_cross, 4),
+                       util::Table::num(t_cross / t_native, 2) + "x"});
+      }
+    }
+    std::printf("--- running on: %s ---\n", platform.name.c_str());
+    table.print(std::cout);
+    std::printf("geometric-mean cross-platform penalty on %s: %.2fx\n\n",
+                platform.name.c_str(),
+                std::exp(geomean_log / std::max(cells, 1)));
+  }
+  std::printf("(paper shape: natively tuned parameters win — by ~10%% on "
+              "UMD-Cluster and ~20%% on Hopper at the paper's scale.  At "
+              "this scaled-down setting the penalty shows most clearly on "
+              "the latency-bound UMD fabric; on the fast Hopper fabric the "
+              "parameter landscape is flatter and individual cells can "
+              "fall within measurement noise — see EXPERIMENTS.md.)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Micro-benchmarks of the serial FFT substrate (google-benchmark): 1-D
+// kernels across lengths and radix mixes, batched pencils, and planner
+// rigor levels.
+#include <benchmark/benchmark.h>
+
+#include "fft/plan1d.hpp"
+#include "fft/planner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace offt;
+
+fft::ComplexVector random_signal(std::size_t n) {
+  util::Rng rng(n);
+  fft::ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::Plan1d plan(n, fft::Direction::Forward);
+  fft::ComplexVector data = random_signal(n);
+  for (auto _ : state) {
+    plan.execute_inplace(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+// Pure powers of two, mixed radices (the paper's 384 = 2^7*3 and
+// 640 = 2^7*5 family), and a Bluestein prime.
+BENCHMARK(BM_Fft1d)->Arg(64)->Arg(128)->Arg(256)->Arg(96)->Arg(384)
+    ->Arg(160)->Arg(640)->Arg(125)->Arg(127);
+
+void BM_Fft1dBatched(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const fft::Plan1d plan(n, fft::Direction::Forward);
+  fft::ComplexVector data = random_signal(n * count);
+  for (auto _ : state) {
+    plan.execute_many_inplace(data.data(), static_cast<std::ptrdiff_t>(n),
+                              count);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * count));
+}
+BENCHMARK(BM_Fft1dBatched)->Args({128, 64})->Args({256, 64})->Args({96, 128});
+
+void BM_Fft1dRadixOrder(benchmark::State& state) {
+  // Same length, different decompositions — the choice the planner makes.
+  const std::size_t n = 256;
+  const std::vector<std::vector<std::size_t>> prefs = {
+      {4, 2}, {2}, {8, 4, 2}, {16, 8, 4, 2}};
+  const auto which = static_cast<std::size_t>(state.range(0));
+  const fft::Plan1d plan(n, fft::Direction::Forward, {prefs[which]});
+  fft::ComplexVector data = random_signal(n);
+  for (auto _ : state) {
+    plan.execute_inplace(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft1dRadixOrder)->DenseRange(0, 3);
+
+void BM_PlannerRigor(benchmark::State& state) {
+  const auto rigor = static_cast<fft::Planning>(state.range(0));
+  for (auto _ : state) {
+    fft::clear_plan_cache();
+    auto plan = fft::plan_best_1d(192, fft::Direction::Forward, rigor);
+    benchmark::DoNotOptimize(plan.get());
+  }
+}
+BENCHMARK(BM_PlannerRigor)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

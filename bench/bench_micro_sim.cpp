@@ -1,0 +1,95 @@
+// Micro-benchmarks of the cluster simulator itself: real (host) cost of
+// scheduling points, message posting and collective rounds.  These bound
+// how much simulator overhead pollutes the virtual-time measurements.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace {
+
+using namespace offt;
+
+sim::NetworkModel cheap_model() {
+  sim::NetworkModel m;
+  m.inter = {1e-6, 1e9};
+  m.intra = m.inter;
+  m.injection_overhead = 0.0;
+  m.test_overhead = 0.0;
+  m.compute_scale = 0.0;
+  return m;
+}
+
+void BM_SimAdvance(benchmark::State& state) {
+  // Host cost of one scheduling point on a single-rank cluster.
+  sim::Cluster cluster(1, cheap_model());
+  for (auto _ : state) {
+    state.PauseTiming();
+    state.ResumeTiming();
+    cluster.run([&](sim::Comm& comm) {
+      for (int i = 0; i < 1000; ++i) comm.advance(1e-9);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimAdvance)->Unit(benchmark::kMillisecond);
+
+void BM_SimPingPong(benchmark::State& state) {
+  sim::Cluster cluster(2, cheap_model());
+  for (auto _ : state) {
+    cluster.run([&](sim::Comm& comm) {
+      int v = 0;
+      for (int i = 0; i < 100; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(&v, sizeof(v), 1, 0);
+          comm.recv(&v, sizeof(v), 1, 1);
+        } else {
+          comm.recv(&v, sizeof(v), 0, 0);
+          comm.send(&v, sizeof(v), 0, 1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_SimPingPong)->Unit(benchmark::kMillisecond);
+
+void BM_SimAlltoall(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  sim::Cluster cluster(p, cheap_model());
+  const std::size_t block = 1024;
+  std::vector<std::vector<char>> send(static_cast<std::size_t>(p)),
+      recv(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    send[static_cast<std::size_t>(r)].resize(block * static_cast<std::size_t>(p));
+    recv[static_cast<std::size_t>(r)].resize(block * static_cast<std::size_t>(p));
+  }
+  for (auto _ : state) {
+    cluster.run([&](sim::Comm& comm) {
+      const auto r = static_cast<std::size_t>(comm.rank());
+      comm.alltoall(send[r].data(), recv[r].data(), block);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * p * (p - 1));
+}
+BENCHMARK(BM_SimAlltoall)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SimTestCalls(benchmark::State& state) {
+  // Host cost of the manual-progression polls the pipelines issue.
+  sim::Cluster cluster(2, cheap_model());
+  for (auto _ : state) {
+    cluster.run([&](sim::Comm& comm) {
+      int v = 0;
+      sim::Request req = comm.rank() == 0
+                             ? comm.irecv(&v, sizeof(v), 1, 0)
+                             : comm.isend(&v, sizeof(v), 0, 0);
+      for (int i = 0; i < 1000; ++i) comm.test(req);
+      comm.wait(req);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimTestCalls)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Micro-benchmarks of the local transpose kernels: naive vs cache-blocked
+// (the difference Fig. 8 attributes to TH's simpler transpose), and the
+// §3.5 per-slab x-z-y rearrangement vs the global z-x-y one.
+#include <benchmark/benchmark.h>
+
+#include "fft/transpose.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace offt;
+
+fft::ComplexVector random_data(std::size_t n) {
+  util::Rng rng(n);
+  fft::ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+void BM_Transpose2dNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::ComplexVector in = random_data(n * n);
+  fft::ComplexVector out(n * n);
+  for (auto _ : state) {
+    fft::transpose_2d_naive(in.data(), n, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * sizeof(fft::Complex)));
+}
+BENCHMARK(BM_Transpose2dNaive)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_Transpose2dBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const fft::ComplexVector in = random_data(n * n);
+  fft::ComplexVector out(n * n);
+  for (auto _ : state) {
+    fft::transpose_2d_blocked(in.data(), n, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * sizeof(fft::Complex)));
+}
+BENCHMARK(BM_Transpose2dBlocked)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_PermuteZxy(benchmark::State& state) {
+  // The generic pre-exchange rearrangement on one rank's slab.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t my_x = n / 4;
+  const fft::ComplexVector in = random_data(my_x * n * n);
+  fft::ComplexVector out(my_x * n * n);
+  for (auto _ : state) {
+    fft::permute_xyz_to_zxy(in.data(), my_x, n, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PermuteZxy)->Arg(64)->Arg(96)->Arg(128);
+
+void BM_PermuteXzyFastPath(benchmark::State& state) {
+  // The §3.5 square fast path on the same slab.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t my_x = n / 4;
+  const fft::ComplexVector in = random_data(my_x * n * n);
+  fft::ComplexVector out(my_x * n * n);
+  for (auto _ : state) {
+    fft::permute_xyz_to_xzy(in.data(), my_x, n, n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PermuteXzyFastPath)->Arg(64)->Arg(96)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Table 2 (+ the Figure 7 speedup view): parallel 3-D FFT execution time
+// for FFTW vs NEW vs TH, each auto-tuned, across ranks and sizes on both
+// simulated platforms.
+//
+// Paper shape to reproduce: NEW fastest everywhere (1.23-1.68x over FFTW
+// on UMD-Cluster, 1.10-1.40x on Hopper); TH modest (<= 1.17x) and
+// sometimes slower than FFTW.
+//
+//   ./bench_table2_times [--platform=umd|hopper] [--ranks=4,8]
+//                        [--sizes=64,80,96,112] [--evals=60] [--runs=3]
+//                        [--large] [--small-only] [--quick]
+//
+// The default run prints Table 2(a,b) (both platforms) followed by the
+// Table 2(c) large-scale block; --large prints only the latter,
+// --small-only skips it.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+using bench::CellResult;
+
+namespace {
+
+void run_sweep(const bench::Sweep& sweep, const char* title) {
+  std::printf("=== Table 2%s: parallel 3-D FFT time (virtual seconds), "
+              "auto-tuned ===\n",
+              title);
+  std::printf("paper: FFTW/NEW/TH on UMD-Cluster & Hopper; see "
+              "EXPERIMENTS.md for the size mapping\n\n");
+
+  for (const std::string& platform_name : sweep.platforms) {
+    const sim::Platform platform = sim::Platform::by_name(platform_name);
+    util::Table table({"p", "N^3", "FFTW", "NEW", "TH", "NEW/FFTW",
+                       "TH/FFTW"});
+    for (const long long p : sweep.ranks) {
+      sim::Cluster cluster(static_cast<int>(p), platform);
+      for (const long long n : sweep.sizes) {
+        const core::Dims dims{static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)};
+        const CellResult fftw = bench::bench_cell(
+            cluster, dims, core::Method::FftwLike, sweep.evals, sweep.runs, 1);
+        const CellResult nw = bench::bench_cell(
+            cluster, dims, core::Method::New, sweep.evals, sweep.runs, 2);
+        const CellResult th = bench::bench_cell(
+            cluster, dims, core::Method::Th, sweep.evals, sweep.runs, 3);
+
+        table.add_row({std::to_string(p), std::to_string(n) + "^3",
+                       util::Table::num(fftw.measured.seconds, 4),
+                       util::Table::num(nw.measured.seconds, 4),
+                       util::Table::num(th.measured.seconds, 4),
+                       util::Table::num(fftw.measured.seconds /
+                                            nw.measured.seconds, 2) + "x",
+                       util::Table::num(fftw.measured.seconds /
+                                            th.measured.seconds, 2) + "x"});
+        std::printf("  [%s] p=%lld N=%lld done (NEW %s)\n",
+                    platform.name.c_str(), p, n,
+                    nw.tuned.params.to_string().c_str());
+      }
+    }
+    std::printf("\n--- platform: %s ---\n", platform.name.c_str());
+    table.print(std::cout);
+    std::printf("(last two columns are the Figure 7 speedups over FFTW)\n\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  const bench::Sweep small = bench::parse_sweep(
+      cli, {4, 8}, {64, 80, 96, 112}, {"umd", "hopper"}, /*evals=*/60,
+      /*runs=*/3);
+  // Table 2(c) analogue: more ranks, bigger arrays, Hopper only; a lighter
+  // evaluation budget keeps the default total runtime in minutes.
+  bench::Sweep large = small;
+  large.ranks = cli.get_int_list("ranks", {16, 32});
+  large.sizes = cli.get_int_list("sizes", {128, 160});
+  large.platforms = {cli.get_string("platform", "hopper")};
+  large.evals = static_cast<int>(cli.get_int("evals", 30));
+  large.runs = std::min(large.runs, 2);
+  if (cli.has("quick")) {
+    large.ranks = {16};
+    large.sizes.resize(1);
+    large.evals = 10;
+  }
+
+  if (!cli.has("large")) run_sweep(small, "(a,b)");
+  if (!cli.has("small-only")) run_sweep(large, "(c) large scale");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 3: the parameter values Nelder-Mead finds for NEW per
+// (platform, ranks, size).
+//
+// Paper shape to reproduce: values differ across settings (that is the
+// point of §5.3.1) — e.g. T grows with Nz, F* grow with p, W stays small
+// (2-4), and no single configuration is best everywhere.
+//
+//   ./bench_table3_tuned_params [--platform=umd|hopper] [--ranks=4,8]
+//                               [--sizes=64,80,96,112] [--evals=60]
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::Sweep sweep = bench::parse_sweep(
+      cli, {4, 8}, {64, 80, 96, 112}, {"umd", "hopper"}, /*evals=*/60);
+
+  std::printf("=== Table 3: parameter values found via auto-tuning (NEW) "
+              "===\n\n");
+
+  for (const std::string& platform_name : sweep.platforms) {
+    const sim::Platform platform = sim::Platform::by_name(platform_name);
+    util::Table table({"p", "N^3", "T", "W", "Px", "Pz", "Uy", "Uz", "Fy",
+                       "Fp", "Fu", "Fx"});
+    for (const long long p : sweep.ranks) {
+      sim::Cluster cluster(static_cast<int>(p), platform);
+      for (const long long n : sweep.sizes) {
+        const core::Dims dims{static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)};
+        const bench::TunedMethod tuned = bench::tune_method(
+            cluster, dims, core::Method::New, sweep.evals, 2);
+        const core::Params& v = tuned.params;
+        table.add_row({std::to_string(p), std::to_string(n) + "^3",
+                       std::to_string(v.T), std::to_string(v.W),
+                       std::to_string(v.Px), std::to_string(v.Pz),
+                       std::to_string(v.Uy), std::to_string(v.Uz),
+                       std::to_string(v.Fy), std::to_string(v.Fp),
+                       std::to_string(v.Fu), std::to_string(v.Fx)});
+      }
+    }
+    std::printf("--- platform: %s ---\n", platform.name.c_str());
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("(paper shape: tuned values vary with platform, p and N; "
+              "W stays small)\n");
+  return 0;
+}

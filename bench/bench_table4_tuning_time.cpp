@@ -1,0 +1,59 @@
+// Table 4: auto-tuning time for FFTW (kernel planner only) vs NEW
+// (ten-parameter Nelder-Mead) vs TH (three-parameter Nelder-Mead).
+//
+// Paper shape to reproduce: TH tunes fastest (3 dimensions), NEW is
+// comparable to FFTW's planner; all in seconds-to-minutes.
+//
+//   ./bench_table4_tuning_time [--platform=umd] [--ranks=4,8]
+//                              [--sizes=64,80,96,112] [--evals=60]
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "fft/planner.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bench::Sweep sweep = bench::parse_sweep(
+      cli, {4, 8}, {64, 80, 96, 112}, {"umd"}, /*evals=*/60);
+
+  std::printf("=== Table 4: auto-tuning time (wall seconds) ===\n");
+  std::printf("FFTW column: 1-D kernel planning at PATIENT rigor (cold "
+              "cache);\nNEW/TH columns: the Nelder-Mead loop including "
+              "every objective run.\n\n");
+
+  for (const std::string& platform_name : sweep.platforms) {
+    const sim::Platform platform = sim::Platform::by_name(platform_name);
+    util::Table table({"p", "N^3", "FFTW", "NEW", "TH", "NEW evals",
+                       "TH evals"});
+    for (const long long p : sweep.ranks) {
+      sim::Cluster cluster(static_cast<int>(p), platform);
+      for (const long long n : sweep.sizes) {
+        const core::Dims dims{static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)};
+        fft::clear_plan_cache();  // cold planner per cell, like a fresh job
+        const bench::TunedMethod fftw = bench::tune_method(
+            cluster, dims, core::Method::FftwLike, sweep.evals, 1);
+        const bench::TunedMethod nw = bench::tune_method(
+            cluster, dims, core::Method::New, sweep.evals, 2);
+        const bench::TunedMethod th = bench::tune_method(
+            cluster, dims, core::Method::Th, sweep.evals, 3);
+        table.add_row({std::to_string(p), std::to_string(n) + "^3",
+                       util::Table::num(fftw.planning_wall_seconds, 3),
+                       util::Table::num(nw.tune_wall_seconds, 3),
+                       util::Table::num(th.tune_wall_seconds, 3),
+                       std::to_string(nw.evaluations),
+                       std::to_string(th.evaluations)});
+      }
+    }
+    std::printf("--- platform: %s ---\n", platform.name.c_str());
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("(paper shape: TH < NEW — fewer dimensions mean a smaller "
+              "search space)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// 3-D spectral low-pass filter — the signal/image-processing use case
+// from the paper's introduction.  A smooth field is corrupted with
+// high-frequency noise, transformed, multiplied by a Gaussian transfer
+// function, and transformed back; the example reports the error to the
+// clean field before and after filtering.
+//
+//   ./spectral_filter [--ranks=8] [--n=40] [--sigma=4.0]
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/plan3d.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace offt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int p = static_cast<int>(cli.get_int("ranks", 8));
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 40));
+  const double sigma = cli.get_double("sigma", 4.0);
+  const sim::Platform platform =
+      sim::Platform::by_name(cli.get_string("platform", "hopper"));
+  const core::Dims dims{n, n, n};
+  const double two_pi = 2.0 * std::numbers::pi;
+
+  std::printf("spectral Gaussian filter: %zu^3 field, sigma = %.1f modes, "
+              "%d ranks on %s\n",
+              n, sigma, p, platform.name.c_str());
+
+  // Clean field: a few low-frequency modes.  Noise: white, amplitude 0.5.
+  auto clean = [&](std::size_t i, std::size_t j, std::size_t k) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    const double y = static_cast<double>(j) / static_cast<double>(n);
+    const double z = static_cast<double>(k) / static_cast<double>(n);
+    return std::sin(two_pi * x) * std::cos(two_pi * 2 * y) +
+           0.5 * std::cos(two_pi * 3 * z);
+  };
+
+  util::Rng rng(7);
+  fft::ComplexVector noisy(dims.total());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        noisy[(i * n + j) * n + k] = {clean(i, j, k) + rng.uniform(-0.5, 0.5),
+                                      0.0};
+
+  core::DistributedField field(dims, p);
+  field.scatter_input(noisy.data());
+
+  core::Plan3dOptions opts;
+  opts.method = core::Method::New;
+  const core::Plan3d fwd(dims, p, opts);
+  core::Plan3dOptions bopts = opts;
+  bopts.direction = fft::Direction::Backward;
+  const core::Plan3d bwd(dims, p, bopts);
+
+  auto wavenumber = [&](std::size_t m) {
+    const auto s = static_cast<long long>(m);
+    const auto nn = static_cast<long long>(n);
+    return static_cast<double>(s <= nn / 2 ? s : s - nn);
+  };
+
+  const core::OutputLayout layout = fwd.output_layout();
+  const core::Decomp& ydec = fwd.y_decomp();
+
+  sim::Cluster cluster(p, platform);
+  cluster.run([&](sim::Comm& comm) {
+    const int r = comm.rank();
+    fft::Complex* slab = field.slab(r);
+    fwd.execute(comm, slab);
+
+    const std::size_t yc = ydec.count(r), y0 = ydec.offset(r);
+    const double inv_n3 = 1.0 / static_cast<double>(dims.total());
+    for (std::size_t jl = 0; jl < yc; ++jl)
+      for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t i = 0; i < n; ++i) {
+          const double ki = wavenumber(i), kj = wavenumber(y0 + jl),
+                       kk = wavenumber(k);
+          const double k2 = ki * ki + kj * kj + kk * kk;
+          const double transfer = std::exp(-k2 / (2.0 * sigma * sigma));
+          const std::size_t idx = layout == core::OutputLayout::ZYX
+                                      ? (k * yc + jl) * n + i
+                                      : (jl * n + k) * n + i;
+          slab[idx] *= transfer * inv_n3;
+        }
+
+    bwd.execute(comm, slab);
+  });
+
+  fft::ComplexVector filtered(dims.total());
+  field.gather_input(filtered.data());
+
+  double err_noisy = 0.0, err_filtered = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k) {
+        const double c = clean(i, j, k);
+        const std::size_t idx = (i * n + j) * n + k;
+        err_noisy += std::norm(noisy[idx] - fft::Complex{c, 0});
+        err_filtered += std::norm(filtered[idx] - fft::Complex{c, 0});
+      }
+  err_noisy = std::sqrt(err_noisy / static_cast<double>(dims.total()));
+  err_filtered = std::sqrt(err_filtered / static_cast<double>(dims.total()));
+
+  std::printf("  rms error vs clean field: %.4f (noisy) -> %.4f (filtered)\n",
+              err_noisy, err_filtered);
+  const bool ok = err_filtered < 0.5 * err_noisy;
+  std::printf("  noise reduced %.1fx — %s\n", err_noisy / err_filtered,
+              ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

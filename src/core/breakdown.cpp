@@ -1,0 +1,64 @@
+#include "core/breakdown.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "sim/cluster.hpp"
+
+namespace offt::core {
+
+const char* step_name(Step s) {
+  switch (s) {
+    case Step::FFTz: return "FFTz";
+    case Step::Transpose: return "Transpose";
+    case Step::FFTy: return "FFTy";
+    case Step::Pack: return "Pack";
+    case Step::Unpack: return "Unpack";
+    case Step::FFTx: return "FFTx";
+    case Step::Ialltoall: return "Ialltoall";
+    case Step::Wait: return "Wait";
+    case Step::Test: return "Test";
+  }
+  return "?";
+}
+
+double StepBreakdown::total() const {
+  double t = 0.0;
+  for (const double s : seconds) t += s;
+  return t;
+}
+
+double StepBreakdown::overlappable_compute() const {
+  return (*this)[Step::FFTy] + (*this)[Step::Pack] + (*this)[Step::Unpack] +
+         (*this)[Step::FFTx];
+}
+
+StepBreakdown& StepBreakdown::operator+=(const StepBreakdown& o) {
+  for (std::size_t i = 0; i < kStepCount; ++i) seconds[i] += o.seconds[i];
+  return *this;
+}
+
+StepBreakdown& StepBreakdown::operator*=(double f) {
+  for (double& s : seconds) s *= f;
+  return *this;
+}
+
+StepBreakdown StepBreakdown::averaged(sim::Comm& comm) const {
+  StepBreakdown avg;
+  const double inv = 1.0 / static_cast<double>(comm.size());
+  for (std::size_t i = 0; i < kStepCount; ++i)
+    avg.seconds[i] = comm.allreduce_sum(seconds[i]) * inv;
+  return avg;
+}
+
+void StepBreakdown::print(std::ostream& os) const {
+  for (std::size_t i = 0; i < kStepCount; ++i) {
+    os << "  " << std::left << std::setw(10)
+       << step_name(static_cast<Step>(i)) << std::right << std::fixed
+       << std::setprecision(6) << seconds[i] << " s\n";
+  }
+  os << "  " << std::left << std::setw(10) << "total" << std::right
+     << std::fixed << std::setprecision(6) << total() << " s\n";
+}
+
+}  // namespace offt::core

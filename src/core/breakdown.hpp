@@ -1,0 +1,54 @@
+// Per-step virtual-time accounting in the nine categories of the paper's
+// Fig. 8: FFTz, Transpose, FFTy, Pack, Unpack, FFTx, Ialltoall (posting),
+// Wait, Test.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+namespace offt::sim {
+class Comm;
+}
+
+namespace offt::core {
+
+enum class Step {
+  FFTz,
+  Transpose,
+  FFTy,
+  Pack,
+  Unpack,
+  FFTx,
+  Ialltoall,
+  Wait,
+  Test,
+};
+
+inline constexpr std::size_t kStepCount = 9;
+const char* step_name(Step s);
+
+struct StepBreakdown {
+  std::array<double, kStepCount> seconds{};
+
+  void add(Step s, double dt) {
+    seconds[static_cast<std::size_t>(s)] += dt;
+  }
+  double operator[](Step s) const {
+    return seconds[static_cast<std::size_t>(s)];
+  }
+  double total() const;
+  // FFTy + Pack + Unpack + FFTx: the computation the overlap can hide
+  // behind communication (§5.2.1 calls it "overlappable").
+  double overlappable_compute() const;
+
+  StepBreakdown& operator+=(const StepBreakdown& o);
+  StepBreakdown& operator*=(double f);
+
+  // Element-wise mean across all ranks (collective call).
+  StepBreakdown averaged(sim::Comm& comm) const;
+
+  void print(std::ostream& os) const;
+};
+
+}  // namespace offt::core

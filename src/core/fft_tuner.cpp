@@ -1,0 +1,251 @@
+#include "core/fft_tuner.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace offt::core {
+
+namespace {
+
+std::vector<long long> test_frequency_values(int nranks) {
+  // Log-scale reduction of [1, 8p] (capped below at 64): the paper's
+  // tuned F* values track the rank count because MPI_Ialltoall needs more
+  // rounds of point-to-point progression as p grows (§4.4), topping out
+  // at 2048 for p = 256 — exactly 8p.  0 (never poll) is excluded: it
+  // disables manual progression entirely, which no overlap configuration
+  // wants — the NEW-0/TH-0 variants set it programmatically instead.
+  const long long hi = std::max<long long>(64, 8LL * nranks);
+  return tune::log_scale_values(1, hi);
+}
+
+std::vector<long long> window_values() {
+  // §4.4: no log-scale reduction for W — there are few sensible values.
+  return {1, 2, 3, 4, 5, 6, 7, 8};
+}
+
+tune::Config step_vertex(const tune::SearchSpace& space,
+                         const tune::Config& base, std::size_t dim) {
+  const auto& vals = space.param(dim).values;
+  const auto idx =
+      static_cast<std::size_t>(space.nearest_index(dim, base[dim]));
+  std::size_t j = idx;
+  if (idx + 1 < vals.size()) {
+    j = idx + 1;
+  } else if (idx > 0) {
+    j = idx - 1;
+  }
+  tune::Config v = base;
+  v[dim] = vals[j];
+  return v;
+}
+
+std::vector<tune::Config> build_initial_simplex(
+    const tune::SearchSpace& space, const tune::Config& default_point) {
+  std::vector<tune::Config> simplex;
+  simplex.push_back(default_point);
+  for (std::size_t d = 0; d < space.dims(); ++d)
+    simplex.push_back(step_vertex(space, default_point, d));
+  return simplex;
+}
+
+}  // namespace
+
+Params FftTuneSpace::to_params(const tune::Config& config) const {
+  Params p;
+  if (method == Method::Th || method == Method::Th0) {
+    OFFT_CHECK(config.size() == 3);
+    p.T = config[0];
+    p.W = config[1];
+    p.Fy = config[2];
+    p.Px = p.Pz = p.Uy = p.Uz = 1;
+    p.Fp = p.Fu = p.Fx = 0;
+  } else {
+    OFFT_CHECK(config.size() == 10);
+    p.T = config[0];
+    p.W = config[1];
+    p.Px = config[2];
+    p.Pz = config[3];
+    p.Uy = config[4];
+    p.Uz = config[5];
+    p.Fy = config[6];
+    p.Fp = config[7];
+    p.Fu = config[8];
+    p.Fx = config[9];
+  }
+  return p;
+}
+
+tune::Config FftTuneSpace::to_config(const Params& p) const {
+  if (method == Method::Th || method == Method::Th0)
+    return {p.T, p.W, p.Fy};
+  return {p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx};
+}
+
+FftTuneSpace make_tune_space(const Dims& dims, int nranks, Method method) {
+  FftTuneSpace ts;
+  ts.method = method;
+  ts.dims = dims;
+  ts.nranks = nranks;
+
+  const auto nz = static_cast<long long>(dims.nz);
+  const long long max_px = static_cast<long long>(
+      (dims.nx + static_cast<std::size_t>(nranks) - 1) /
+      static_cast<std::size_t>(nranks));
+  const long long max_uy = static_cast<long long>(
+      (dims.ny + static_cast<std::size_t>(nranks) - 1) /
+      static_cast<std::size_t>(nranks));
+
+  if (method == Method::Th || method == Method::Th0) {
+    ts.space.add_log_scale("T", 1, nz);
+    ts.space.add("W", window_values());
+    ts.space.add("F", test_frequency_values(nranks));
+  } else {
+    ts.space.add_log_scale("T", 1, nz);
+    ts.space.add("W", window_values());
+    ts.space.add_log_scale("Px", 1, max_px);
+    ts.space.add_log_scale("Pz", 1, nz);
+    ts.space.add_log_scale("Uy", 1, max_uy);
+    ts.space.add_log_scale("Uz", 1, nz);
+    ts.space.add("Fy", test_frequency_values(nranks));
+    ts.space.add("Fp", test_frequency_values(nranks));
+    ts.space.add("Fu", test_frequency_values(nranks));
+    ts.space.add("Fx", test_frequency_values(nranks));
+  }
+
+  // The constraint closure converts through its own FftTuneSpace so it
+  // stays valid however `ts` is copied or moved.
+  const Method m = method;
+  const Dims d = dims;
+  const int p = nranks;
+  ts.constraint = [m, d, p](const tune::Config& c) {
+    FftTuneSpace conv;
+    conv.method = m;
+    return conv.to_params(c).feasible(d, p);
+  };
+
+  // §4.4 initial simplex: the heuristic default point, snapped into the
+  // reduced space, plus one adjacent step per dimension.
+  const Params heur = Params::heuristic(dims, nranks).resolved(dims, nranks);
+  const tune::Config default_point =
+      ts.space.snap(ts.space.to_point(ts.to_config(heur)));
+  ts.initial_simplex = build_initial_simplex(ts.space, default_point);
+  return ts;
+}
+
+namespace {
+
+struct ObjectiveState {
+  sim::Cluster* cluster;
+  FftTuneSpace ts;
+  FftTuneOptions opts;
+  std::vector<fft::ComplexVector> pristine;
+  std::vector<fft::ComplexVector> work;
+
+  ObjectiveState(sim::Cluster& c, FftTuneSpace tune_space,
+                 const FftTuneOptions& options)
+      : cluster(&c), ts(std::move(tune_space)), opts(options) {
+    OFFT_CHECK_MSG(cluster->size() == ts.nranks,
+                   "cluster size does not match the tuning space");
+    Plan3dOptions popts;
+    popts.method = ts.method;
+    popts.planning = opts.planning;
+    const Plan3d probe(ts.dims, ts.nranks, popts);
+
+    // Prepare the post-Transpose input once per rank; every evaluation
+    // restores it with a memcpy instead of re-running FFTz + Transpose
+    // (§4.4 technique 3).
+    const int p = ts.nranks;
+    pristine.resize(static_cast<std::size_t>(p));
+    work.resize(static_cast<std::size_t>(p));
+    util::Rng rng(0xf00d + static_cast<std::uint64_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const std::size_t n = probe.local_elements(r);
+      pristine[static_cast<std::size_t>(r)].resize(n);
+      work[static_cast<std::size_t>(r)].resize(n);
+      for (auto& v : pristine[static_cast<std::size_t>(r)])
+        v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      probe.run_pretransform(pristine[static_cast<std::size_t>(r)].data(), r);
+    }
+  }
+
+  double evaluate(const tune::Config& config) {
+    Plan3dOptions popts;
+    popts.method = ts.method;
+    popts.params = ts.to_params(config);
+    popts.planning = opts.planning;
+    const Plan3d plan(ts.dims, ts.nranks, popts);
+
+    double best = tune::kInfeasible;
+    for (int rep = 0; rep < std::max(1, opts.reps); ++rep) {
+      double section = 0.0;
+      cluster->run([&](sim::Comm& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        std::memcpy(work[r].data(), pristine[r].data(),
+                    pristine[r].size() * sizeof(fft::Complex));
+        comm.barrier();
+        const double t0 = comm.now();
+        plan.execute_tunable_section(comm, work[r].data());
+        const double dt = comm.now() - t0;
+        const double makespan = comm.allreduce_max(dt);
+        if (comm.rank() == 0) section = makespan;
+      });
+      best = std::min(best, section);
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+tune::Objective make_fft3d_objective(sim::Cluster& cluster,
+                                     const FftTuneSpace& tune_space,
+                                     const FftTuneOptions& options) {
+  auto state = std::make_shared<ObjectiveState>(cluster, tune_space, options);
+  return [state](const tune::Config& config) {
+    return state->evaluate(config);
+  };
+}
+
+FftTuneResult tune_fft3d(sim::Cluster& cluster, const Dims& dims,
+                         Method method, const FftTuneOptions& options) {
+  const int p = cluster.size();
+  FftTuneSpace ts = make_tune_space(dims, p, method);
+
+  FftTuneResult result;
+  {
+    // §4.1: tune the 1-D kernels (the FFTW-delegated sections) first and
+    // record that cost separately (Table 4's FFTW column analogue).
+    Plan3dOptions popts;
+    popts.method = method;
+    popts.planning = options.planning;
+    const Plan3d probe(dims, p, popts);
+    result.fft_planning_seconds = probe.planning_seconds();
+  }
+
+  const tune::Objective objective =
+      make_fft3d_objective(cluster, ts, options);
+
+  tune::TuneOptions topts;
+  topts.strategy = options.strategy;
+  topts.nm.max_evaluations = options.max_evaluations;
+  topts.random_samples = options.random_samples;
+  topts.seed = options.seed;
+  if (options.use_paper_initial_simplex &&
+      options.strategy == tune::Strategy::NelderMeadSearch)
+    topts.initial_simplex = ts.initial_simplex;
+
+  result.outcome = tune::tune(ts.space, objective, ts.constraint, topts);
+  if (result.outcome.search.best.empty()) {
+    result.best_params = Params::heuristic(dims, p).resolved(dims, p);
+  } else {
+    result.best_params =
+        ts.to_params(result.outcome.search.best).resolved(dims, p);
+  }
+  result.best_seconds = result.outcome.search.best_value;
+  return result;
+}
+
+}  // namespace offt::core

@@ -1,0 +1,62 @@
+// Auto-tuning glue between the 3-D FFT plans and the tune substrate —
+// the paper's §4: the ten-parameter search space with log-scale reduction,
+// the feasibility constraint, the §4.4 initial simplex, and the objective
+// that runs only the parameter-dependent section of the pipeline.
+#pragma once
+
+#include "core/plan3d.hpp"
+#include "tune/tuner.hpp"
+
+namespace offt::core {
+
+// The reduced search space for a method (ten parameters for NEW, three —
+// T, W, F — for TH, as in §5.1's "fair comparison" re-tuning).
+struct FftTuneSpace {
+  tune::SearchSpace space;
+  tune::Constraint constraint;
+  std::vector<tune::Config> initial_simplex;  // §4.4 default point + steps
+  Method method = Method::New;
+  Dims dims;
+  int nranks = 0;
+
+  Params to_params(const tune::Config& config) const;
+  tune::Config to_config(const Params& params) const;
+};
+
+FftTuneSpace make_tune_space(const Dims& dims, int nranks, Method method);
+
+struct FftTuneOptions {
+  tune::Strategy strategy = tune::Strategy::NelderMeadSearch;
+  int max_evaluations = 60;   // NM objective budget
+  int random_samples = 200;   // for Strategy::RandomSearch
+  std::uint64_t seed = 1;
+  // Rigor for the 1-D kernel planning done before the parameter search
+  // (§4.1 tunes the FFTW-delegated sections first).
+  fft::Planning planning = fft::Planning::Measure;
+  // Repetitions of the tunable section per evaluation; the minimum is
+  // reported (suppresses compute-measurement noise).
+  int reps = 1;
+  bool use_paper_initial_simplex = true;
+};
+
+struct FftTuneResult {
+  Params best_params;          // resolved best configuration
+  double best_seconds = 0.0;   // virtual time of the tunable section
+  tune::TuneOutcome outcome;   // search statistics + wall tuning time
+  double fft_planning_seconds = 0.0;  // 1-D kernel planning time (§4.1)
+};
+
+// Auto-tunes `method` for `dims` on the given cluster.  The objective
+// evaluates the tunable section (FFTy/Pack/A2A/Unpack/FFTx) on inputs
+// prepared once with run_pretransform; FFTz and Transpose are never
+// re-executed during the search (§4.4 technique 3).
+FftTuneResult tune_fft3d(sim::Cluster& cluster, const Dims& dims,
+                         Method method, const FftTuneOptions& options = {});
+
+// Builds the objective alone (used by benches that drive the search
+// differently, e.g. the Fig. 5 random-configuration CDF).
+tune::Objective make_fft3d_objective(sim::Cluster& cluster,
+                                     const FftTuneSpace& tune_space,
+                                     const FftTuneOptions& options);
+
+}  // namespace offt::core

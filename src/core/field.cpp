@@ -1,0 +1,112 @@
+#include "core/field.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace offt::core {
+
+bool Decomp::uniform() const {
+  for (const std::size_t c : counts)
+    if (c != counts.front()) return false;
+  return true;
+}
+
+Decomp decompose(std::size_t n, int nranks) {
+  OFFT_CHECK(nranks >= 1);
+  Decomp d;
+  d.counts.resize(static_cast<std::size_t>(nranks));
+  d.offsets.resize(static_cast<std::size_t>(nranks));
+  const std::size_t base = n / static_cast<std::size_t>(nranks);
+  const std::size_t extra = n % static_cast<std::size_t>(nranks);
+  std::size_t off = 0;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(nranks); ++r) {
+    d.counts[r] = base + (r < extra ? 1 : 0);
+    d.offsets[r] = off;
+    off += d.counts[r];
+  }
+  return d;
+}
+
+DistributedField::DistributedField(const Dims& dims, int nranks)
+    : dims_(dims),
+      nranks_(nranks),
+      xdec_(decompose(dims.nx, nranks)),
+      ydec_(decompose(dims.ny, nranks)) {
+  std::size_t max_elems = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const std::size_t in = xdec_.count(r) * dims.ny * dims.nz;
+    const std::size_t out = ydec_.count(r) * dims.nz * dims.nx;
+    max_elems = std::max({max_elems, in, out});
+  }
+  slab_elems_ = max_elems;
+  slabs_.resize(static_cast<std::size_t>(nranks));
+  for (auto& s : slabs_) s.assign(slab_elems_, fft::Complex{0.0, 0.0});
+}
+
+void DistributedField::fill_input(
+    const std::function<fft::Complex(std::size_t, std::size_t, std::size_t)>&
+        f) {
+  for (int r = 0; r < nranks_; ++r) {
+    fft::Complex* s = slab(r);
+    const std::size_t x0 = xdec_.offset(r), xc = xdec_.count(r);
+    for (std::size_t i = 0; i < xc; ++i)
+      for (std::size_t j = 0; j < dims_.ny; ++j)
+        for (std::size_t k = 0; k < dims_.nz; ++k)
+          s[(i * dims_.ny + j) * dims_.nz + k] = f(x0 + i, j, k);
+  }
+}
+
+void DistributedField::scatter_input(const fft::Complex* global) {
+  fill_input([&](std::size_t i, std::size_t j, std::size_t k) {
+    return global[(i * dims_.ny + j) * dims_.nz + k];
+  });
+}
+
+namespace {
+
+int owner_of(const Decomp& d, std::size_t index) {
+  for (std::size_t r = 0; r < d.counts.size(); ++r)
+    if (index < d.offsets[r] + d.counts[r]) return static_cast<int>(r);
+  OFFT_CHECK_MSG(false, "index out of decomposition range");
+  return -1;
+}
+
+}  // namespace
+
+fft::Complex DistributedField::input_at(std::size_t i, std::size_t j,
+                                        std::size_t k) const {
+  const int r = owner_of(xdec_, i);
+  const std::size_t il = i - xdec_.offset(r);
+  return slab(r)[(il * dims_.ny + j) * dims_.nz + k];
+}
+
+fft::Complex DistributedField::output_at(std::size_t i, std::size_t j,
+                                         std::size_t k,
+                                         OutputLayout layout) const {
+  const int r = owner_of(ydec_, j);
+  const std::size_t jl = j - ydec_.offset(r);
+  const std::size_t yc = ydec_.count(r);
+  const std::size_t idx = layout == OutputLayout::ZYX
+                              ? (k * yc + jl) * dims_.nx + i
+                              : (jl * dims_.nz + k) * dims_.nx + i;
+  return slab(r)[idx];
+}
+
+void DistributedField::gather_input(fft::Complex* global) const {
+  for (std::size_t i = 0; i < dims_.nx; ++i)
+    for (std::size_t j = 0; j < dims_.ny; ++j)
+      for (std::size_t k = 0; k < dims_.nz; ++k)
+        global[(i * dims_.ny + j) * dims_.nz + k] = input_at(i, j, k);
+}
+
+void DistributedField::gather_output(fft::Complex* global,
+                                     OutputLayout layout) const {
+  for (std::size_t i = 0; i < dims_.nx; ++i)
+    for (std::size_t j = 0; j < dims_.ny; ++j)
+      for (std::size_t k = 0; k < dims_.nz; ++k)
+        global[(i * dims_.ny + j) * dims_.nz + k] =
+            output_at(i, j, k, layout);
+}
+
+}  // namespace offt::core

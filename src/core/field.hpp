@@ -1,0 +1,77 @@
+// Slab decomposition helpers and a convenience container for distributed
+// 3-D fields.
+//
+// Forward-transform input: rank r owns the x-slab [x_offset(r),
+// x_offset(r)+x_count(r)) in x-y-z layout (z contiguous).  Forward output
+// (transposed out, like FFTW's MPI mode): rank r owns a y-slab in z-y-x
+// layout (x contiguous) — or y-z-x for the Nx == Ny fast-transpose path.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "fft/types.hpp"
+
+namespace offt::core {
+
+enum class OutputLayout { ZYX, YZX };
+
+// Balanced 1-D block decomposition of n over p parts: the first (n mod p)
+// parts get one extra element.
+struct Decomp {
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> offsets;
+
+  std::size_t count(int r) const { return counts[static_cast<std::size_t>(r)]; }
+  std::size_t offset(int r) const {
+    return offsets[static_cast<std::size_t>(r)];
+  }
+  bool uniform() const;
+};
+
+Decomp decompose(std::size_t n, int nranks);
+
+// Convenience holder for one slab per rank, used by tests, examples and
+// the benchmark harness.  Slabs are sized to fit both the input x-slab and
+// the output y-slab so in-place transforms work for non-divisible sizes
+// too.
+class DistributedField {
+ public:
+  DistributedField(const Dims& dims, int nranks);
+
+  const Dims& dims() const { return dims_; }
+  int nranks() const { return nranks_; }
+  const Decomp& x_decomp() const { return xdec_; }
+  const Decomp& y_decomp() const { return ydec_; }
+  std::size_t slab_elements() const { return slab_elems_; }
+
+  fft::Complex* slab(int rank) { return slabs_[static_cast<std::size_t>(rank)].data(); }
+  const fft::Complex* slab(int rank) const {
+    return slabs_[static_cast<std::size_t>(rank)].data();
+  }
+
+  // Fills the input slabs from f(i, j, k) in x-y-z x-slab layout.
+  void fill_input(const std::function<fft::Complex(std::size_t, std::size_t,
+                                                   std::size_t)>& f);
+  // Scatters a full x-y-z row-major array into the input slabs.
+  void scatter_input(const fft::Complex* global);
+
+  // Element accessors by global index.
+  fft::Complex input_at(std::size_t i, std::size_t j, std::size_t k) const;
+  fft::Complex output_at(std::size_t i, std::size_t j, std::size_t k,
+                         OutputLayout layout) const;
+
+  // Gathers to a full x-y-z row-major array.
+  void gather_input(fft::Complex* global) const;
+  void gather_output(fft::Complex* global, OutputLayout layout) const;
+
+ private:
+  Dims dims_;
+  int nranks_;
+  Decomp xdec_, ydec_;
+  std::size_t slab_elems_;
+  std::vector<fft::ComplexVector> slabs_;
+};
+
+}  // namespace offt::core

@@ -1,0 +1,91 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace offt::core {
+
+namespace {
+
+long long ceil_div(std::size_t a, std::size_t b) {
+  return static_cast<long long>((a + b - 1) / b);
+}
+
+long long clamp_ll(long long v, long long lo, long long hi) {
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace
+
+Params Params::heuristic(const Dims& dims, int nranks,
+                         std::size_t cache_bytes) {
+  OFFT_CHECK(nranks >= 1 && dims.total() > 0);
+  Params p;
+  const auto nz = static_cast<long long>(dims.nz);
+  // Half the cache for a read/write sub-tile of 16-byte complex elements.
+  const long long cache_elems =
+      std::max<long long>(1, static_cast<long long>(cache_bytes) / 16 / 2);
+
+  p.T = std::max<long long>(1, nz / 16);
+  p.W = 2;
+  p.Px = std::max<long long>(1, cache_elems / static_cast<long long>(dims.ny));
+  p.Pz = std::max<long long>(
+      1, cache_elems / static_cast<long long>(dims.ny) / p.Px);
+  p.Uy = std::max<long long>(1, cache_elems / static_cast<long long>(dims.nx));
+  p.Uz = std::max<long long>(
+      1, cache_elems / static_cast<long long>(dims.nx) / p.Uy);
+  p.Fy = p.Fp = p.Fu = p.Fx = std::max<long long>(1, nranks / 2);
+  return p;
+}
+
+Params Params::resolved(const Dims& dims, int nranks) const {
+  OFFT_CHECK(nranks >= 1 && dims.total() > 0);
+  const Params h = heuristic(dims, nranks);
+  Params r = *this;
+  if (r.T <= 0) r.T = h.T;
+  if (r.W < 0) r.W = h.W;
+  if (r.Px <= 0) r.Px = h.Px;
+  if (r.Pz <= 0) r.Pz = h.Pz;
+  if (r.Uy <= 0) r.Uy = h.Uy;
+  if (r.Uz <= 0) r.Uz = h.Uz;
+  if (r.Fy < 0) r.Fy = h.Fy;
+  if (r.Fp < 0) r.Fp = h.Fp;
+  if (r.Fu < 0) r.Fu = h.Fu;
+  if (r.Fx < 0) r.Fx = h.Fx;
+
+  const auto nz = static_cast<long long>(dims.nz);
+  const long long max_px = ceil_div(dims.nx, static_cast<std::size_t>(nranks));
+  const long long max_uy = ceil_div(dims.ny, static_cast<std::size_t>(nranks));
+  r.T = clamp_ll(r.T, 1, nz);
+  r.W = std::max<long long>(0, r.W);
+  r.Px = clamp_ll(r.Px, 1, max_px);
+  r.Pz = clamp_ll(r.Pz, 1, r.T);
+  r.Uy = clamp_ll(r.Uy, 1, max_uy);
+  r.Uz = clamp_ll(r.Uz, 1, r.T);
+  r.Fy = std::max<long long>(0, r.Fy);
+  r.Fp = std::max<long long>(0, r.Fp);
+  r.Fu = std::max<long long>(0, r.Fu);
+  r.Fx = std::max<long long>(0, r.Fx);
+  return r;
+}
+
+bool Params::feasible(const Dims& dims, int nranks) const {
+  const auto nz = static_cast<long long>(dims.nz);
+  const long long max_px = ceil_div(dims.nx, static_cast<std::size_t>(nranks));
+  const long long max_uy = ceil_div(dims.ny, static_cast<std::size_t>(nranks));
+  return T >= 1 && T <= nz && W >= 0 && Px >= 1 && Px <= max_px && Pz >= 1 &&
+         Pz <= T && Uy >= 1 && Uy <= max_uy && Uz >= 1 && Uz <= T && Fy >= 0 &&
+         Fp >= 0 && Fu >= 0 && Fx >= 0;
+}
+
+std::string Params::to_string() const {
+  std::ostringstream os;
+  os << "{T=" << T << " W=" << W << " Px=" << Px << " Pz=" << Pz
+     << " Uy=" << Uy << " Uz=" << Uz << " Fy=" << Fy << " Fp=" << Fp
+     << " Fu=" << Fu << " Fx=" << Fx << "}";
+  return os.str();
+}
+
+}  // namespace offt::core

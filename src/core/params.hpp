@@ -1,0 +1,48 @@
+// The ten tunable parameters of the overlapped 3-D FFT (paper Table 1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace offt::core {
+
+struct Dims {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  std::size_t total() const { return nx * ny * nz; }
+};
+
+// All values in elements (not bytes).  A default-constructed Params is
+// fully "auto": resolved() replaces autos with the paper's §4.4 heuristic
+// defaults and clamps everything into the valid range for (dims, p).
+struct Params {
+  long long T = 0;   // tile size along z (elements per communication tile)
+  long long W = -1;  // window: concurrent tile all-to-alls (0 = blocking)
+  long long Px = 0;  // Pack sub-tile extent along x
+  long long Pz = 0;  // Pack sub-tile extent along z
+  long long Uy = 0;  // Unpack sub-tile extent along y
+  long long Uz = 0;  // Unpack sub-tile extent along z
+  long long Fy = -1; // MPI_Test rounds during FFTy, per communication tile
+  long long Fp = -1; // ... during Pack
+  long long Fu = -1; // ... during Unpack
+  long long Fx = -1; // ... during FFTx
+
+  // §4.4 default point: T = Nz/16, W = 2, sub-tiles sized to fit a 256 KB
+  // cache (8K complex elements), F* = p/2.
+  static Params heuristic(const Dims& dims, int nranks,
+                          std::size_t cache_bytes = 256 * 1024);
+
+  // Fills autos from the heuristic and clamps every field into its valid
+  // range (1 <= T <= Nz, Pz/Uz <= T, Px <= ceil(Nx/p), Uy <= ceil(Ny/p),
+  // W >= 0, F* >= 0).
+  Params resolved(const Dims& dims, int nranks) const;
+
+  // Strict feasibility — the constraint the auto-tuner penalizes
+  // (§4.4 technique 1).  Requires every field to be explicitly set.
+  bool feasible(const Dims& dims, int nranks) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Params&) const = default;
+};
+
+}  // namespace offt::core

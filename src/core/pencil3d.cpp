@@ -1,0 +1,198 @@
+#include "core/pencil3d.hpp"
+
+#include <cstring>
+
+#include "core/pipeline_detail.hpp"
+#include "util/check.hpp"
+
+namespace offt::core {
+
+using fft::Complex;
+
+Pencil3d::Pencil3d(Dims dims, int rows, int cols, fft::Direction direction,
+                   fft::Planning planning)
+    : dims_(dims), rows_(rows), cols_(cols), direction_(direction) {
+  OFFT_CHECK_MSG(rows >= 1 && cols >= 1, "process grid must be positive");
+  OFFT_CHECK_MSG(dims.nx >= static_cast<std::size_t>(rows) &&
+                     dims.ny >= static_cast<std::size_t>(rows) &&
+                     dims.ny >= static_cast<std::size_t>(cols) &&
+                     dims.nz >= static_cast<std::size_t>(cols),
+                 "pencil decomposition needs Nx >= rows, Ny >= rows/cols, "
+                 "Nz >= cols");
+  OFFT_CHECK_MSG(direction == fft::Direction::Forward,
+                 "Pencil3d currently implements the forward transform");
+  xdec_ = decompose(dims.nx, rows);
+  ydec_in_ = decompose(dims.ny, cols);
+  zdec_ = decompose(dims.nz, cols);
+  ydec_out_ = decompose(dims.ny, rows);
+  plan_z_ = fft::plan_best_1d(dims.nz, direction, planning);
+  plan_y_ = fft::plan_best_1d(dims.ny, direction, planning);
+  plan_x_ = fft::plan_best_1d(dims.nx, direction, planning);
+}
+
+std::size_t Pencil3d::local_elements(int rank) const {
+  const int r = row_of(rank), c = col_of(rank);
+  const std::size_t in = xdec_.count(r) * ydec_in_.count(c) * dims_.nz;
+  const std::size_t mid = xdec_.count(r) * dims_.ny * zdec_.count(c);
+  const std::size_t out = ydec_out_.count(r) * zdec_.count(c) * dims_.nx;
+  return std::max({in, mid, out});
+}
+
+std::size_t Pencil3d::input_index(int rank, std::size_t i, std::size_t j,
+                                  std::size_t k) const {
+  const int r = row_of(rank), c = col_of(rank);
+  const std::size_t il = i - xdec_.offset(r);
+  const std::size_t jl = j - ydec_in_.offset(c);
+  return (il * ydec_in_.count(c) + jl) * dims_.nz + k;
+}
+
+std::size_t Pencil3d::output_index(int rank, std::size_t i, std::size_t j,
+                                   std::size_t k) const {
+  const int r = row_of(rank), c = col_of(rank);
+  const std::size_t jl = j - ydec_out_.offset(r);
+  const std::size_t kl = k - zdec_.offset(c);
+  return (jl * zdec_.count(c) + kl) * dims_.nx + i;
+}
+
+namespace {
+
+int owner_in(const Decomp& d, std::size_t index) {
+  for (std::size_t r = 0; r < d.counts.size(); ++r)
+    if (index < d.offsets[r] + d.counts[r]) return static_cast<int>(r);
+  OFFT_CHECK_MSG(false, "index outside decomposition");
+  return -1;
+}
+
+}  // namespace
+
+int Pencil3d::input_owner(std::size_t i, std::size_t j) const {
+  return owner_in(xdec_, i) * cols_ + owner_in(ydec_in_, j);
+}
+
+int Pencil3d::output_owner(std::size_t j, std::size_t k) const {
+  return owner_in(ydec_out_, j) * cols_ + owner_in(zdec_, k);
+}
+
+void Pencil3d::execute(sim::Comm& comm, Complex* data) const {
+  OFFT_CHECK_MSG(comm.size() == nranks(),
+                 "plan was built for a different cluster size");
+  const int rank = comm.rank();
+  const int row = row_of(rank), col = col_of(rank);
+  const std::size_t xc = xdec_.count(row);
+  const std::size_t yc_in = ydec_in_.count(col);
+  const std::size_t zc = zdec_.count(col);
+  const std::size_t yc_out = ydec_out_.count(row);
+  const Dims& d = dims_;
+
+  std::vector<int> row_group(static_cast<std::size_t>(cols_));
+  for (int c = 0; c < cols_; ++c) row_group[static_cast<std::size_t>(c)] =
+      row * cols_ + c;
+  std::vector<int> col_group(static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) col_group[static_cast<std::size_t>(r)] =
+      r * cols_ + col;
+
+  // ---- FFTz on the input pencils (z contiguous) -----------------------
+  plan_z_->execute_many_inplace(data, static_cast<std::ptrdiff_t>(d.nz),
+                                xc * yc_in);
+
+  // ---- Exchange 1 (row group): z <-> y --------------------------------
+  // Send to column-member c': my (x, y, z in Z_{c'}) block, packed as
+  // ((x*yc_in + y)*Z_{c'} + z'); receive the same shape from everyone and
+  // unpack to x-z-y (y contiguous).
+  {
+    std::vector<std::size_t> sbytes(cols_), sdispl(cols_), rbytes(cols_),
+        rdispl(cols_);
+    std::size_t soff = 0, roff = 0;
+    for (int c = 0; c < cols_; ++c) {
+      sbytes[c] = xc * yc_in * zdec_.count(c) * sizeof(Complex);
+      sdispl[c] = soff;
+      soff += sbytes[c];
+      rbytes[c] = xc * ydec_in_.count(c) * zc * sizeof(Complex);
+      rdispl[c] = roff;
+      roff += rbytes[c];
+    }
+    Complex* sendbuf = detail::tls_complex(10, soff / sizeof(Complex));
+    Complex* recvbuf = detail::tls_complex(11, roff / sizeof(Complex));
+
+    for (int c = 0; c < cols_; ++c) {
+      Complex* blk = sendbuf + sdispl[c] / sizeof(Complex);
+      const std::size_t z0 = zdec_.offset(c), zl = zdec_.count(c);
+      for (std::size_t x = 0; x < xc; ++x)
+        for (std::size_t y = 0; y < yc_in; ++y)
+          std::memcpy(blk + (x * yc_in + y) * zl,
+                      data + (x * yc_in + y) * d.nz + z0,
+                      zl * sizeof(Complex));
+    }
+
+    sim::Request req = comm.ialltoallv_group(
+        row_group, sendbuf, sbytes.data(), sdispl.data(), recvbuf,
+        rbytes.data(), rdispl.data());
+    comm.wait(req);
+
+    // Unpack into x-z-y: data[(x*zc + z)*Ny + y].
+    for (int c = 0; c < cols_; ++c) {
+      const Complex* blk = recvbuf + rdispl[c] / sizeof(Complex);
+      const std::size_t y0 = ydec_in_.offset(c), yl = ydec_in_.count(c);
+      for (std::size_t x = 0; x < xc; ++x)
+        for (std::size_t y = 0; y < yl; ++y)
+          for (std::size_t z = 0; z < zc; ++z)
+            data[(x * zc + z) * d.ny + (y0 + y)] =
+                blk[(x * yl + y) * zc + z];
+    }
+  }
+
+  // ---- FFTy on the mid pencils (y contiguous) --------------------------
+  plan_y_->execute_many_inplace(data, static_cast<std::ptrdiff_t>(d.ny),
+                                xc * zc);
+
+  // ---- Exchange 2 (column group): x <-> y ------------------------------
+  // Send to row-member r': my (x, z, y in Y'_{r'}) block, packed as
+  // ((y'*zc + z)*xc + x); receive from everyone and unpack to y-z-x
+  // (x contiguous).
+  {
+    std::vector<std::size_t> sbytes(rows_), sdispl(rows_), rbytes(rows_),
+        rdispl(rows_);
+    std::size_t soff = 0, roff = 0;
+    for (int r = 0; r < rows_; ++r) {
+      sbytes[r] = xc * zc * ydec_out_.count(r) * sizeof(Complex);
+      sdispl[r] = soff;
+      soff += sbytes[r];
+      rbytes[r] = xdec_.count(r) * zc * yc_out * sizeof(Complex);
+      rdispl[r] = roff;
+      roff += rbytes[r];
+    }
+    Complex* sendbuf = detail::tls_complex(12, soff / sizeof(Complex));
+    Complex* recvbuf = detail::tls_complex(13, roff / sizeof(Complex));
+
+    for (int r = 0; r < rows_; ++r) {
+      Complex* blk = sendbuf + sdispl[r] / sizeof(Complex);
+      const std::size_t y0 = ydec_out_.offset(r), yl = ydec_out_.count(r);
+      for (std::size_t y = 0; y < yl; ++y)
+        for (std::size_t z = 0; z < zc; ++z)
+          for (std::size_t x = 0; x < xc; ++x)
+            blk[(y * zc + z) * xc + x] =
+                data[(x * zc + z) * d.ny + (y0 + y)];
+    }
+
+    sim::Request req = comm.ialltoallv_group(
+        col_group, sendbuf, sbytes.data(), sdispl.data(), recvbuf,
+        rbytes.data(), rdispl.data());
+    comm.wait(req);
+
+    // Unpack into y-z-x: data[(y*zc + z)*Nx + x].
+    for (int r = 0; r < rows_; ++r) {
+      const Complex* blk = recvbuf + rdispl[r] / sizeof(Complex);
+      const std::size_t x0 = xdec_.offset(r), xl = xdec_.count(r);
+      for (std::size_t y = 0; y < yc_out; ++y)
+        for (std::size_t z = 0; z < zc; ++z)
+          std::memcpy(data + (y * zc + z) * d.nx + x0,
+                      blk + (y * zc + z) * xl, xl * sizeof(Complex));
+    }
+  }
+
+  // ---- FFTx on the output pencils (x contiguous) ------------------------
+  plan_x_->execute_many_inplace(data, static_cast<std::ptrdiff_t>(d.nx),
+                                yc_out * zc);
+}
+
+}  // namespace offt::core

@@ -1,0 +1,78 @@
+// 2-D (pencil) domain decomposition 3-D FFT — the P3DFFT-style method the
+// paper discusses in §2.2 and names as the extension target in §7.
+//
+// The process grid has `rows` x `cols` ranks; rank = row*cols + col.
+// Forward data flow for rank (r, c):
+//
+//   input   x-range(r) x y-range(c) x all-z     layout x-y-z (z contig)
+//   FFTz, then all-to-all within the ROW group  (z <-> y redistribution)
+//   mid     x-range(r) x all-y x z-range(c)     layout x-z-y (y contig)
+//   FFTy, then all-to-all within the COLUMN group (x <-> y redistribution)
+//   output  y-range'(r) x z-range(c) x all-x    layout y-z-x (x contig)
+//   FFTx
+//
+// where y-range(c) splits Ny over the columns and y-range'(r) splits Ny
+// over the rows.  Unlike the 1-D decomposition this supports up to N^2
+// ranks, at the cost of two all-to-all steps — exactly the trade-off of
+// §2.2; `bench_ext_pencil_vs_slab` measures where the crossover falls.
+//
+// Exchanges are blocking (P3DFFT does not overlap, §6); extending the
+// tiled-overlap engine to this decomposition is the paper's own future
+// work and the engine's geometry struct was kept decomposition-agnostic
+// for that purpose.
+#pragma once
+
+#include "core/field.hpp"
+#include "core/params.hpp"
+#include "fft/planner.hpp"
+#include "sim/cluster.hpp"
+
+namespace offt::core {
+
+class Pencil3d {
+ public:
+  Pencil3d(Dims dims, int rows, int cols,
+           fft::Direction direction = fft::Direction::Forward,
+           fft::Planning planning = fft::Planning::Estimate);
+
+  const Dims& dims() const { return dims_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nranks() const { return rows_ * cols_; }
+  fft::Direction direction() const { return direction_; }
+
+  int row_of(int rank) const { return rank / cols_; }
+  int col_of(int rank) const { return rank % cols_; }
+
+  // Decompositions: x over rows, input-y over columns, z over columns,
+  // output-y over rows.
+  const Decomp& x_decomp() const { return xdec_; }
+  const Decomp& y_in_decomp() const { return ydec_in_; }
+  const Decomp& z_decomp() const { return zdec_; }
+  const Decomp& y_out_decomp() const { return ydec_out_; }
+
+  // Elements a rank's buffer must hold (max over the three phases).
+  std::size_t local_elements(int rank) const;
+
+  // Collective in-place transform; call from every rank of a cluster of
+  // exactly rows()*cols() ranks.  Forward only (the backward pencil
+  // transform mirrors it and is not needed by the paper's evaluation).
+  void execute(sim::Comm& comm, fft::Complex* data) const;
+
+  // Test/bench helpers: global element of the input / output for `rank`.
+  std::size_t input_index(int rank, std::size_t i, std::size_t j,
+                          std::size_t k) const;
+  std::size_t output_index(int rank, std::size_t i, std::size_t j,
+                           std::size_t k) const;
+  int input_owner(std::size_t i, std::size_t j) const;
+  int output_owner(std::size_t j, std::size_t k) const;
+
+ private:
+  Dims dims_;
+  int rows_, cols_;
+  fft::Direction direction_;
+  Decomp xdec_, ydec_in_, zdec_, ydec_out_;
+  std::shared_ptr<const fft::Plan1d> plan_x_, plan_y_, plan_z_;
+};
+
+}  // namespace offt::core

@@ -1,0 +1,88 @@
+// Internal machinery shared by the pipeline translation units.  Not part
+// of the public API.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/plan3d.hpp"
+
+namespace offt::core {
+
+struct Plan3d::Impl {
+  Dims dims;
+  int nranks = 0;
+  Plan3dOptions options;
+  Params params;  // resolved
+  Decomp xdec, ydec;
+  bool square = false;  // Nx == Ny fast transpose active
+  double planning_seconds = 0.0;
+  std::shared_ptr<const fft::Plan1d> plan_x, plan_y, plan_z;
+};
+
+namespace detail {
+
+// Thread-local scratch (per simulated rank: each rank is a thread).
+fft::Complex* tls_complex(int slot, std::size_t n);
+
+// ---------------------------------------------------------------------
+// The tiled-exchange engine: the middle of Algorithm 1 (everything
+// between Transpose and the end), direction-neutral.
+//
+// Input:  my share of the s dimension, all of t:  pencils along t are
+//         contiguous; layout (z, s, t), or (s, z, t) in square mode.
+// Output: my share of the t dimension, all of s:  pencils along s are
+//         contiguous; layout (z, t, s), or (t, z, s) in square mode.
+//
+// The forward transform instantiates s = x, t = y (FFTy before the
+// exchange, FFTx after); the backward transform instantiates s = y, t = x.
+// ---------------------------------------------------------------------
+struct ExchangeGeom {
+  std::size_t nz = 0;
+  std::size_t n_t = 0;  // full length of pre-exchange (t) pencils
+  std::size_t n_s = 0;  // full length of post-exchange (s) pencils
+  const Decomp* s_dec = nullptr;  // decomposition of s (mine BEFORE)
+  const Decomp* t_dec = nullptr;  // decomposition of t (mine AFTER)
+  bool square = false;
+  const fft::Plan1d* fft_t = nullptr;  // length n_t
+  const fft::Plan1d* fft_s = nullptr;  // length n_s
+
+  // Pipeline parameters (already validated/clamped).
+  long long tile = 1;       // T
+  long long window = 0;     // W
+  long long sub_s = 1;      // pre-exchange sub-tile extent along s (Px)
+  long long sub_z1 = 1;     // ... along z (Pz)
+  long long sub_t = 1;      // post-exchange sub-tile extent along t (Uy)
+  long long sub_z2 = 1;     // ... along z (Uz)
+  long long f_fft1 = 0;     // test rounds during the pre-exchange FFT (Fy)
+  long long f_pack = 0;     // ... during Pack (Fp)
+  long long f_unpack = 0;   // ... during Unpack (Fu)
+  long long f_fft2 = 0;     // ... during the post-exchange FFT (Fx)
+
+  Step step_fft1 = Step::FFTy;  // breakdown label of the pre-exchange FFT
+  Step step_fft2 = Step::FFTx;
+
+  // TH mode: Unpack+FFTx for all tiles run after every all-to-all has
+  // completed (no overlap for the second half, §5.1's TH).
+  bool th_deferred_unpack = false;
+};
+
+void run_tiled_exchange(const ExchangeGeom& g, sim::Comm& comm,
+                        fft::Complex* data, StepBreakdown* bd);
+
+// Builds the geometry for a plan (forward or backward orientation).
+ExchangeGeom make_geom(const Plan3d::Impl& impl);
+
+// Forward prologue / backward epilogue pieces (serial, per-rank; callers
+// time them via comm.now()).  The transposes use the cache-blocked kernel
+// for New/New0/FftwLike and the naive kernel for Th/Th0 (Fig. 8 shows TH
+// paying for its simpler transpose).
+void run_fftz(const Plan3d::Impl& impl, fft::Complex* data, int rank);
+// x-y-z -> z-x-y (or x-z-y on the square fast path).
+void run_forward_transpose(const Plan3d::Impl& impl, fft::Complex* data,
+                           int rank);
+// z-x-y (or x-z-y) -> x-y-z.
+void run_inverse_transpose(const Plan3d::Impl& impl, fft::Complex* data,
+                           int rank);
+
+}  // namespace detail
+}  // namespace offt::core

@@ -1,0 +1,446 @@
+// The tiled-exchange engine implementing Algorithms 1-3 of the paper, in
+// a direction-neutral form (see pipeline_detail.hpp), plus the FFTz /
+// Transpose prologue and epilogue and the geometry builders.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/pipeline_detail.hpp"
+#include "fft/transpose.hpp"
+#include "util/check.hpp"
+
+namespace offt::core::detail {
+
+using fft::Complex;
+
+Complex* tls_complex(int slot, std::size_t n) {
+  thread_local std::unordered_map<int, fft::ComplexVector> buffers;
+  fft::ComplexVector& buf = buffers[slot];
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+namespace {
+
+// Fires `rounds` MPI_Test batches, evenly spaced over `total_work` step()
+// calls, on every not-yet-done outstanding request (Algorithms 2-3: "call
+// MPI_Test on the W previous/next tiles F times in total").  Test time is
+// recorded in the breakdown and in *excluded so the caller can subtract
+// it from the enclosing compute step.
+struct TestHook {
+  sim::Comm& comm;
+  const std::vector<sim::Request*>& outstanding;
+  long long rounds;
+  long long total_work;
+  StepBreakdown* bd;
+  double* excluded;
+
+  long long done_work = 0;
+  long long fired = 0;
+
+  void step() {
+    ++done_work;
+    if (rounds <= 0 || total_work <= 0 || outstanding.empty()) return;
+    while (fired < rounds && done_work * rounds >= (fired + 1) * total_work) {
+      ++fired;
+      const double t0 = comm.now();
+      for (sim::Request* r : outstanding)
+        if (!r->done()) comm.test(*r);
+      const double dt = comm.now() - t0;
+      if (bd) bd->add(Step::Test, dt);
+      if (excluded) *excluded += dt;
+    }
+  }
+};
+
+struct Engine {
+  const ExchangeGeom& g;
+  sim::Comm& comm;
+  Complex* data;
+  StepBreakdown* bd;
+
+  int p, rank;
+  std::size_t my_s, my_t, nz, tiles;
+  long long window;
+  Complex* out;
+  Complex* sendbuf;
+  Complex* recvbuf;
+  std::size_t send_slot_elems, recv_slot_elems;
+  std::size_t send_slots, recv_slots;
+  std::vector<sim::Request> reqs;
+  std::vector<sim::Request*> outstanding;
+
+  explicit Engine(const ExchangeGeom& geom, sim::Comm& c, Complex* d,
+                  StepBreakdown* b)
+      : g(geom), comm(c), data(d), bd(b) {
+    p = comm.size();
+    rank = comm.rank();
+    my_s = g.s_dec->count(rank);
+    my_t = g.t_dec->count(rank);
+    nz = g.nz;
+    const auto t = static_cast<std::size_t>(g.tile);
+    tiles = (nz + t - 1) / t;
+    window = g.window;
+
+    const bool inplace = g.square ? (g.n_t == g.n_s && my_s == my_t)
+                                  : (my_s * g.n_t == my_t * g.n_s);
+    out = inplace ? data : tls_complex(0, my_t * nz * g.n_s);
+
+    send_slot_elems = my_s * g.n_t * t;
+    recv_slot_elems = my_t * g.n_s * t;
+    send_slots = static_cast<std::size_t>(window) + 1;
+    recv_slots = g.th_deferred_unpack ? tiles : send_slots;
+    sendbuf = tls_complex(1, send_slots * send_slot_elems);
+    recvbuf = tls_complex(2, recv_slots * recv_slot_elems);
+    reqs.resize(tiles);
+  }
+
+  std::size_t pre_idx(std::size_t s, std::size_t z) const {
+    return g.square ? (s * nz + z) * g.n_t : (z * my_s + s) * g.n_t;
+  }
+  std::size_t post_idx(std::size_t t, std::size_t z) const {
+    return g.square ? (t * nz + z) * g.n_s : (z * my_t + t) * g.n_s;
+  }
+
+  std::size_t tile_z0(std::size_t i) const {
+    return i * static_cast<std::size_t>(g.tile);
+  }
+  std::size_t tile_len(std::size_t i) const {
+    return std::min<std::size_t>(static_cast<std::size_t>(g.tile),
+                                 nz - tile_z0(i));
+  }
+
+  Complex* send_slot(std::size_t i) {
+    return sendbuf + (i % send_slots) * send_slot_elems;
+  }
+  Complex* recv_slot(std::size_t i) {
+    return recvbuf + (i % recv_slots) * recv_slot_elems;
+  }
+
+  // Requests [lo, hi] that are posted but not done.
+  const std::vector<sim::Request*>& collect_outstanding(long long lo,
+                                                        long long hi) {
+    outstanding.clear();
+    lo = std::max<long long>(lo, 0);
+    hi = std::min<long long>(hi, static_cast<long long>(tiles) - 1);
+    for (long long i = lo; i <= hi; ++i) {
+      sim::Request& r = reqs[static_cast<std::size_t>(i)];
+      if (r.valid() && !r.done()) outstanding.push_back(&r);
+    }
+    return outstanding;
+  }
+
+  // --- Algorithm 2: FFT along t, then Pack, sub-tiled (Ps x Pz) --------
+  void fft_and_pack(std::size_t i) {
+    const std::size_t z0 = tile_z0(i), zl = tile_len(i);
+    Complex* slot = send_slot(i);
+    const long long work =
+        static_cast<long long>(my_s) * static_cast<long long>(zl);
+    double fft_test = 0.0, pack_test = 0.0;
+    TestHook hook_fft{comm, outstanding, g.f_fft1, work, bd, &fft_test};
+    TestHook hook_pack{comm, outstanding, g.f_pack, work, bd, &pack_test};
+
+    double fft_time = 0.0, pack_time = 0.0;
+    const auto sub_s = static_cast<std::size_t>(g.sub_s);
+    const auto sub_z = static_cast<std::size_t>(g.sub_z1);
+    for (std::size_t sb = 0; sb < my_s; sb += sub_s) {
+      const std::size_t se = std::min(my_s, sb + sub_s);
+      for (std::size_t zb = 0; zb < zl; zb += sub_z) {
+        const std::size_t ze = std::min(zl, zb + sub_z);
+
+        double t0 = comm.now();
+        for (std::size_t s = sb; s < se; ++s) {
+          for (std::size_t z = zb; z < ze; ++z) {
+            g.fft_t->execute_inplace(data + pre_idx(s, z0 + z));
+            hook_fft.step();
+          }
+        }
+        fft_time += comm.now() - t0;
+
+        t0 = comm.now();
+        for (std::size_t s = sb; s < se; ++s) {
+          for (std::size_t z = zb; z < ze; ++z) {
+            const Complex* row = data + pre_idx(s, z0 + z);
+            for (int d = 0; d < p; ++d) {
+              const std::size_t cnt = g.t_dec->count(d);
+              Complex* blk = slot + my_s * zl * g.t_dec->offset(d);
+              std::memcpy(blk + (z * my_s + s) * cnt,
+                          row + g.t_dec->offset(d), cnt * sizeof(Complex));
+            }
+            hook_pack.step();
+          }
+        }
+        pack_time += comm.now() - t0;
+      }
+    }
+    if (bd) {
+      bd->add(g.step_fft1, fft_time - fft_test);
+      bd->add(Step::Pack, pack_time - pack_test);
+    }
+  }
+
+  // --- Algorithm 3: Unpack, then FFT along s, sub-tiled (Ut x Uz) ------
+  void unpack_and_fft(std::size_t i) {
+    const std::size_t z0 = tile_z0(i), zl = tile_len(i);
+    const Complex* slot = recv_slot(i);
+    const long long work =
+        static_cast<long long>(my_t) * static_cast<long long>(zl);
+    double unpack_test = 0.0, fft_test = 0.0;
+    TestHook hook_unpack{comm, outstanding, g.f_unpack, work, bd,
+                         &unpack_test};
+    TestHook hook_fft{comm, outstanding, g.f_fft2, work, bd, &fft_test};
+
+    double unpack_time = 0.0, fft_time = 0.0;
+    const auto sub_t = static_cast<std::size_t>(g.sub_t);
+    const auto sub_z = static_cast<std::size_t>(g.sub_z2);
+    for (std::size_t tb = 0; tb < my_t; tb += sub_t) {
+      const std::size_t te = std::min(my_t, tb + sub_t);
+      for (std::size_t zb = 0; zb < zl; zb += sub_z) {
+        const std::size_t ze = std::min(zl, zb + sub_z);
+
+        double t0 = comm.now();
+        for (std::size_t t = tb; t < te; ++t) {
+          for (std::size_t z = zb; z < ze; ++z) {
+            Complex* row = out + post_idx(t, z0 + z);
+            for (int src = 0; src < p; ++src) {
+              const std::size_t cnt = g.s_dec->count(src);
+              const std::size_t off = g.s_dec->offset(src);
+              const Complex* blk = slot + zl * my_t * off;
+              for (std::size_t si = 0; si < cnt; ++si)
+                row[off + si] = blk[(z * cnt + si) * my_t + t];
+            }
+            hook_unpack.step();
+          }
+        }
+        unpack_time += comm.now() - t0;
+
+        t0 = comm.now();
+        for (std::size_t t = tb; t < te; ++t) {
+          for (std::size_t z = zb; z < ze; ++z) {
+            g.fft_s->execute_inplace(out + post_idx(t, z0 + z));
+            hook_fft.step();
+          }
+        }
+        fft_time += comm.now() - t0;
+      }
+    }
+    if (bd) {
+      bd->add(Step::Unpack, unpack_time - unpack_test);
+      bd->add(g.step_fft2, fft_time - fft_test);
+    }
+  }
+
+  void post_alltoall(std::size_t i) {
+    const std::size_t zl = tile_len(i);
+    std::vector<std::size_t> sbytes(p), sdispl(p), rbytes(p), rdispl(p);
+    for (int d = 0; d < p; ++d) {
+      sbytes[d] = my_s * zl * g.t_dec->count(d) * sizeof(Complex);
+      sdispl[d] = my_s * zl * g.t_dec->offset(d) * sizeof(Complex);
+      rbytes[d] = my_t * zl * g.s_dec->count(d) * sizeof(Complex);
+      rdispl[d] = my_t * zl * g.s_dec->offset(d) * sizeof(Complex);
+    }
+    const double t0 = comm.now();
+    reqs[i] = comm.ialltoallv(send_slot(i), sbytes.data(), sdispl.data(),
+                              recv_slot(i), rbytes.data(), rdispl.data());
+    if (bd) bd->add(Step::Ialltoall, comm.now() - t0);
+  }
+
+  void wait_tile(std::size_t i) {
+    const double t0 = comm.now();
+    comm.wait(reqs[i]);
+    if (bd) bd->add(Step::Wait, comm.now() - t0);
+  }
+
+  void copy_out_if_needed() {
+    if (out == data) return;
+    // Non-in-place path (ragged decompositions): move the result into the
+    // caller's slab.  Accounted as Unpack — it is the tail of the data
+    // movement the in-place path avoids.
+    const double t0 = comm.now();
+    std::memcpy(data, out, my_t * nz * g.n_s * sizeof(Complex));
+    if (bd) bd->add(Step::Unpack, comm.now() - t0);
+  }
+
+  void run() {
+    const auto k = static_cast<long long>(tiles);
+    const long long W = window;
+    if (g.th_deferred_unpack) {
+      // TH (§5.1): overlap only FFT+Pack with the all-to-alls; run every
+      // Unpack+FFT after all communication has been waited for.
+      for (long long i = 0; i < k; ++i) {
+        collect_outstanding(i - W, i - 1);
+        fft_and_pack(static_cast<std::size_t>(i));
+        if (W > 0 && i >= W) wait_tile(static_cast<std::size_t>(i - W));
+        post_alltoall(static_cast<std::size_t>(i));
+        if (W == 0) wait_tile(static_cast<std::size_t>(i));
+      }
+      for (long long i = std::max<long long>(0, k - W); i < k; ++i)
+        wait_tile(static_cast<std::size_t>(i));
+      outstanding.clear();
+      for (long long i = 0; i < k; ++i)
+        unpack_and_fft(static_cast<std::size_t>(i));
+    } else if (W == 0) {
+      // NEW-0 / FFTW-like: blocking exchange per tile (Fig. 8's "-0").
+      outstanding.clear();
+      for (long long i = 0; i < k; ++i) {
+        fft_and_pack(static_cast<std::size_t>(i));
+        post_alltoall(static_cast<std::size_t>(i));
+        wait_tile(static_cast<std::size_t>(i));
+        unpack_and_fft(static_cast<std::size_t>(i));
+      }
+    } else {
+      // Algorithm 1 proper.
+      for (long long i = 0; i < k + W; ++i) {
+        if (i < k) {
+          collect_outstanding(i - W, i - 1);
+          fft_and_pack(static_cast<std::size_t>(i));
+        }
+        if (i >= W && i - W < k) wait_tile(static_cast<std::size_t>(i - W));
+        if (i < k) post_alltoall(static_cast<std::size_t>(i));
+        if (i >= W && i - W < k) {
+          collect_outstanding(i - W + 1, i);
+          unpack_and_fft(static_cast<std::size_t>(i - W));
+        }
+      }
+    }
+    copy_out_if_needed();
+  }
+};
+
+}  // namespace
+
+void run_tiled_exchange(const ExchangeGeom& g, sim::Comm& comm,
+                        Complex* data, StepBreakdown* bd) {
+  Engine engine(g, comm, data, bd);
+  engine.run();
+}
+
+ExchangeGeom make_geom(const Plan3d::Impl& impl) {
+  const Params& prm = impl.params;
+  ExchangeGeom g;
+  g.nz = impl.dims.nz;
+  g.square = impl.square;
+  g.tile = prm.T;
+  g.window = prm.W;
+
+  const bool forward = impl.options.direction == fft::Direction::Forward;
+  if (forward) {
+    g.n_t = impl.dims.ny;
+    g.n_s = impl.dims.nx;
+    g.s_dec = &impl.xdec;
+    g.t_dec = &impl.ydec;
+    g.fft_t = impl.plan_y.get();
+    g.fft_s = impl.plan_x.get();
+    g.sub_s = prm.Px;
+    g.sub_z1 = prm.Pz;
+    g.sub_t = prm.Uy;
+    g.sub_z2 = prm.Uz;
+    g.f_fft1 = prm.Fy;
+    g.f_pack = prm.Fp;
+    g.f_unpack = prm.Fu;
+    g.f_fft2 = prm.Fx;
+    g.step_fft1 = Step::FFTy;
+    g.step_fft2 = Step::FFTx;
+  } else {
+    // Mirror: FFTx before the exchange, FFTy after.
+    g.n_t = impl.dims.nx;
+    g.n_s = impl.dims.ny;
+    g.s_dec = &impl.ydec;
+    g.t_dec = &impl.xdec;
+    g.fft_t = impl.plan_x.get();
+    g.fft_s = impl.plan_y.get();
+    g.sub_s = prm.Uy;
+    g.sub_z1 = prm.Uz;
+    g.sub_t = prm.Px;
+    g.sub_z2 = prm.Pz;
+    g.f_fft1 = prm.Fx;
+    g.f_pack = prm.Fp;
+    g.f_unpack = prm.Fu;
+    g.f_fft2 = prm.Fy;
+    g.step_fft1 = Step::FFTx;
+    g.step_fft2 = Step::FFTy;
+  }
+
+  const Method m = impl.options.method;
+  if (m == Method::FftwLike) {
+    // One blocking exchange over the whole slab, no loop tiling, no tests.
+    g.tile = static_cast<long long>(impl.dims.nz);
+    g.window = 0;
+    g.sub_s = static_cast<long long>(g.s_dec->count(0) + 1);
+    g.sub_z1 = g.tile;
+    g.sub_t = static_cast<long long>(g.t_dec->count(0) + 1);
+    g.sub_z2 = g.tile;
+    g.f_fft1 = g.f_pack = g.f_unpack = g.f_fft2 = 0;
+  } else if (m == Method::New0) {
+    g.window = 0;
+    g.f_fft1 = g.f_pack = g.f_unpack = g.f_fft2 = 0;
+  } else if (m == Method::Th || m == Method::Th0) {
+    // TH: no loop tiling, a single test-frequency knob (Fy), deferred
+    // Unpack+FFTx.
+    g.th_deferred_unpack = true;
+    g.sub_s = static_cast<long long>(g.s_dec->count(0) + 1);
+    g.sub_z1 = g.tile;
+    g.sub_t = static_cast<long long>(g.t_dec->count(0) + 1);
+    g.sub_z2 = g.tile;
+    g.f_fft1 = prm.Fy;
+    g.f_pack = prm.Fy;
+    g.f_unpack = g.f_fft2 = 0;
+    if (m == Method::Th0) {
+      g.window = 0;
+      g.f_fft1 = g.f_pack = 0;
+    }
+  }
+  return g;
+}
+
+void run_fftz(const Plan3d::Impl& impl, Complex* data, int rank) {
+  const std::size_t my_x = impl.xdec.count(rank);
+  const Dims& d = impl.dims;
+  impl.plan_z->execute_many_inplace(data, static_cast<std::ptrdiff_t>(d.nz),
+                                    my_x * d.ny);
+}
+
+namespace {
+
+bool uses_blocked_transpose(const Plan3d::Impl& impl) {
+  const Method m = impl.options.method;
+  return m != Method::Th && m != Method::Th0;
+}
+
+}  // namespace
+
+void run_forward_transpose(const Plan3d::Impl& impl, Complex* data,
+                           int rank) {
+  const std::size_t my_x = impl.xdec.count(rank);
+  const Dims& d = impl.dims;
+  const std::size_t elems = my_x * d.ny * d.nz;
+  Complex* tmp = tls_complex(3, elems);
+  if (impl.square) {
+    fft::permute_xyz_to_xzy(data, my_x, d.ny, d.nz, tmp,
+                            uses_blocked_transpose(impl));
+  } else {
+    fft::permute_xyz_to_zxy(data, my_x, d.ny, d.nz, tmp,
+                            uses_blocked_transpose(impl));
+  }
+  std::memcpy(data, tmp, elems * sizeof(Complex));
+}
+
+void run_inverse_transpose(const Plan3d::Impl& impl, Complex* data,
+                           int rank) {
+  const std::size_t my_x = impl.xdec.count(rank);
+  const Dims& d = impl.dims;
+  const std::size_t elems = my_x * d.ny * d.nz;
+  Complex* tmp = tls_complex(3, elems);
+  if (impl.square) {
+    // x-z-y -> x-y-z is another per-x 2-D transpose (swap the two inner
+    // dims back).
+    fft::permute_xyz_to_xzy(data, my_x, d.nz, d.ny, tmp,
+                            uses_blocked_transpose(impl));
+  } else {
+    fft::permute_zxy_to_xyz(data, my_x, d.ny, d.nz, tmp,
+                            uses_blocked_transpose(impl));
+  }
+  std::memcpy(data, tmp, elems * sizeof(Complex));
+}
+
+}  // namespace offt::core::detail

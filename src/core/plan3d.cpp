@@ -1,0 +1,150 @@
+#include "core/plan3d.hpp"
+
+#include <cstring>
+
+#include "core/pipeline_detail.hpp"
+#include "util/check.hpp"
+
+namespace offt::core {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::New: return "NEW";
+    case Method::New0: return "NEW-0";
+    case Method::Th: return "TH";
+    case Method::Th0: return "TH-0";
+    case Method::FftwLike: return "FFTW";
+  }
+  return "?";
+}
+
+Method method_by_name(const std::string& name) {
+  if (name == "new" || name == "NEW") return Method::New;
+  if (name == "new0" || name == "NEW-0") return Method::New0;
+  if (name == "th" || name == "TH") return Method::Th;
+  if (name == "th0" || name == "TH-0") return Method::Th0;
+  if (name == "fftw" || name == "FFTW") return Method::FftwLike;
+  OFFT_CHECK_MSG(false, "unknown method '" << name
+                                           << "' (new|new0|th|th0|fftw)");
+  return Method::New;
+}
+
+Plan3d::~Plan3d() = default;
+Plan3d::Plan3d(Plan3d&&) noexcept = default;
+Plan3d& Plan3d::operator=(Plan3d&&) noexcept = default;
+
+Plan3d::Plan3d(Dims dims, int nranks, Plan3dOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  OFFT_CHECK_MSG(dims.nx >= 1 && dims.ny >= 1 && dims.nz >= 1,
+                 "all three dimensions must be positive");
+  OFFT_CHECK_MSG(nranks >= 1, "need at least one rank");
+  OFFT_CHECK_MSG(dims.nx >= static_cast<std::size_t>(nranks) &&
+                     dims.ny >= static_cast<std::size_t>(nranks),
+                 "1-D decomposition needs Nx >= p and Ny >= p");
+
+  Impl& im = *impl_;
+  im.dims = dims;
+  im.nranks = nranks;
+  im.options = options;
+  im.params = options.params.resolved(dims, nranks);
+  im.xdec = decompose(dims.nx, nranks);
+  im.ydec = decompose(dims.ny, nranks);
+
+  // §3.5: the x-z-y fast transpose needs Nx == Ny and, for the in-place
+  // tile/chunk identity, a uniform decomposition.  TH and the FFTW
+  // baseline never use it.
+  const bool method_allows_square = options.method == Method::New ||
+                                    options.method == Method::New0;
+  im.square = options.square_path == Plan3dOptions::SquarePath::Auto &&
+              method_allows_square && dims.nx == dims.ny &&
+              im.xdec.uniform() && im.ydec.uniform();
+
+  double t = 0.0;
+  im.plan_z = fft::plan_best_1d(dims.nz, options.direction, options.planning,
+                                &t);
+  im.planning_seconds += t;
+  im.plan_y = fft::plan_best_1d(dims.ny, options.direction, options.planning,
+                                &t);
+  im.planning_seconds += t;
+  im.plan_x = fft::plan_best_1d(dims.nx, options.direction, options.planning,
+                                &t);
+  im.planning_seconds += t;
+}
+
+const Dims& Plan3d::dims() const { return impl_->dims; }
+int Plan3d::nranks() const { return impl_->nranks; }
+Method Plan3d::method() const { return impl_->options.method; }
+fft::Direction Plan3d::direction() const { return impl_->options.direction; }
+const Params& Plan3d::params() const { return impl_->params; }
+bool Plan3d::square_fast_path() const { return impl_->square; }
+const Decomp& Plan3d::x_decomp() const { return impl_->xdec; }
+const Decomp& Plan3d::y_decomp() const { return impl_->ydec; }
+double Plan3d::planning_seconds() const { return impl_->planning_seconds; }
+
+OutputLayout Plan3d::output_layout() const {
+  return impl_->square ? OutputLayout::YZX : OutputLayout::ZYX;
+}
+
+std::size_t Plan3d::local_elements(int rank) const {
+  const Impl& im = *impl_;
+  const std::size_t in = im.xdec.count(rank) * im.dims.ny * im.dims.nz;
+  const std::size_t out = im.ydec.count(rank) * im.dims.nz * im.dims.nx;
+  return std::max(in, out);
+}
+
+void Plan3d::execute(sim::Comm& comm, fft::Complex* data,
+                     StepBreakdown* bd) const {
+  const Impl& im = *impl_;
+  OFFT_CHECK_MSG(comm.size() == im.nranks,
+                 "plan was built for a different cluster size");
+  const int rank = comm.rank();
+  if (im.options.direction == fft::Direction::Forward) {
+    double t0 = comm.now();
+    detail::run_fftz(im, data, rank);
+    if (bd) bd->add(Step::FFTz, comm.now() - t0);
+    t0 = comm.now();
+    detail::run_forward_transpose(im, data, rank);
+    if (bd) bd->add(Step::Transpose, comm.now() - t0);
+    detail::run_tiled_exchange(detail::make_geom(im), comm, data, bd);
+  } else {
+    detail::run_tiled_exchange(detail::make_geom(im), comm, data, bd);
+    double t0 = comm.now();
+    detail::run_inverse_transpose(im, data, rank);
+    if (bd) bd->add(Step::Transpose, comm.now() - t0);
+    t0 = comm.now();
+    detail::run_fftz(im, data, rank);
+    if (bd) bd->add(Step::FFTz, comm.now() - t0);
+  }
+}
+
+std::size_t Plan3d::input_elements(int rank) const {
+  const Impl& im = *impl_;
+  return im.options.direction == fft::Direction::Forward
+             ? im.xdec.count(rank) * im.dims.ny * im.dims.nz
+             : im.ydec.count(rank) * im.dims.nz * im.dims.nx;
+}
+
+void Plan3d::execute(sim::Comm& comm, const fft::Complex* in,
+                     fft::Complex* out, StepBreakdown* bd) const {
+  OFFT_CHECK_MSG(in != out, "out-of-place execute needs distinct buffers");
+  std::memcpy(out, in, input_elements(comm.rank()) * sizeof(fft::Complex));
+  execute(comm, out, bd);
+}
+
+void Plan3d::run_pretransform(fft::Complex* data, int rank) const {
+  const Impl& im = *impl_;
+  OFFT_CHECK_MSG(im.options.direction == fft::Direction::Forward,
+                 "run_pretransform applies to forward plans only");
+  detail::run_fftz(im, data, rank);
+  detail::run_forward_transpose(im, data, rank);
+}
+
+void Plan3d::execute_tunable_section(sim::Comm& comm, fft::Complex* data,
+                                     StepBreakdown* bd) const {
+  const Impl& im = *impl_;
+  OFFT_CHECK_MSG(comm.size() == im.nranks,
+                 "plan was built for a different cluster size");
+  detail::run_tiled_exchange(detail::make_geom(im), comm, data, bd);
+}
+
+}  // namespace offt::core

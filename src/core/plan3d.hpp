@@ -1,0 +1,108 @@
+// Parallel 3-D FFT plans over the simulated cluster — the paper's
+// contribution plus the two comparison methods of §5.1.
+//
+//   Method::New      — the paper's design (Algorithms 1-3): per-tile
+//                      non-blocking all-to-all, all four compute steps
+//                      overlapped with communication, manual progression
+//                      via tuned MPI_Test frequencies, loop tiling for
+//                      Pack/Unpack, and the Nx == Ny fast transpose.
+//   Method::New0     — NEW with overlap disabled (W = 0, no tests); the
+//                      blocking-per-tile variant of Fig. 8.
+//   Method::Th       — Hoefler-style overlap: only FFTy+Pack overlap the
+//                      all-to-all; Unpack and FFTx run after all
+//                      communication; naive transpose; no loop tiling.
+//   Method::Th0      — TH with overlap disabled.
+//   Method::FftwLike — the FFTW baseline: one blocking all-to-all over the
+//                      whole slab, no overlap, no loop tiling, optimized
+//                      transpose.
+//
+// Data distribution follows the 1-D decomposition of §2.2: forward input
+// is an x-slab in x-y-z layout (z contiguous); forward output is a y-slab,
+// "transposed out", in z-y-x layout (x contiguous) — or y-z-x when the
+// Nx == Ny fast path is active.  Transforms are in-place and unnormalized.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/breakdown.hpp"
+#include "core/field.hpp"
+#include "core/params.hpp"
+#include "fft/planner.hpp"
+#include "sim/cluster.hpp"
+
+namespace offt::core {
+
+enum class Method { New, New0, Th, Th0, FftwLike };
+
+const char* to_string(Method m);
+Method method_by_name(const std::string& name);
+
+struct Plan3dOptions {
+  Method method = Method::New;
+  fft::Direction direction = fft::Direction::Forward;
+  // The ten tunable parameters; unset fields resolve to the §4.4
+  // heuristic.  TH uses only T, W and Fy (its single test frequency).
+  Params params;
+  // Rigor of the FFTW-substrate planning for the 1-D kernels (§4.1).
+  fft::Planning planning = fft::Planning::Estimate;
+  // §3.5 fast transpose; Auto enables it for New/New0 on square uniform
+  // decompositions.
+  enum class SquarePath { Auto, Off } square_path = SquarePath::Auto;
+};
+
+class Plan3d {
+ public:
+  Plan3d(Dims dims, int nranks, Plan3dOptions options = {});
+  ~Plan3d();
+  Plan3d(Plan3d&&) noexcept;
+  Plan3d& operator=(Plan3d&&) noexcept;
+
+  const Dims& dims() const;
+  int nranks() const;
+  Method method() const;
+  fft::Direction direction() const;
+  const Params& params() const;  // fully resolved
+  OutputLayout output_layout() const;
+  bool square_fast_path() const;
+  const Decomp& x_decomp() const;
+  const Decomp& y_decomp() const;
+  // Elements a rank's slab buffer must hold (max of input/output slab).
+  std::size_t local_elements(int rank) const;
+  // Wall time spent auto-tuning the 1-D kernels at construction.
+  double planning_seconds() const;
+
+  // Collective in-place transform of this rank's slab; call from every
+  // rank inside Cluster::run.  Optionally accumulates the per-step
+  // breakdown (Fig. 8 categories) for this rank.
+  void execute(sim::Comm& comm, fft::Complex* data,
+               StepBreakdown* breakdown = nullptr) const;
+
+  // Out-of-place variant (§2.3: "our approach can be applied directly for
+  // the out-of-place transform"): `in` is left untouched, `out` (sized
+  // local_elements(rank)) receives the result.  The buffers must not
+  // overlap.
+  void execute(sim::Comm& comm, const fft::Complex* in, fft::Complex* out,
+               StepBreakdown* breakdown = nullptr) const;
+
+  // Elements of this rank's *input* slab (execute()'s out-of-place source
+  // size); local_elements() covers input and output.
+  std::size_t input_elements(int rank) const;
+
+  // Runs only FFTz + Transpose, serially (no communication).  Leaves
+  // `data` in the layout execute_tunable_section expects.
+  void run_pretransform(fft::Complex* data, int rank) const;
+
+  // The parameter-dependent section only (FFTy/Pack/A2A/Unpack/FFTx):
+  // the auto-tuning objective, per §4.4's "skip FFTz and Transpose".
+  void execute_tunable_section(sim::Comm& comm, fft::Complex* data,
+                               StepBreakdown* breakdown = nullptr) const;
+
+  struct Impl;
+  const Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace offt::core

@@ -1,0 +1,61 @@
+#include "fft/factorize.hpp"
+
+#include "util/check.hpp"
+
+namespace offt::fft {
+
+std::vector<Stage> factorize(std::size_t n,
+                             const std::vector<std::size_t>& preference) {
+  OFFT_CHECK(n >= 1);
+  std::vector<Stage> stages;
+  std::size_t rem = n;
+  while (rem > 1) {
+    std::size_t radix = 0;
+    for (std::size_t pref : preference) {
+      if (pref > 1 && rem % pref == 0) {
+        radix = pref;
+        break;
+      }
+    }
+    if (radix == 0) {
+      // Smallest prime factor by trial division.
+      std::size_t f = 2;
+      while (f * f <= rem && rem % f != 0) ++f;
+      radix = (f * f > rem) ? rem : f;
+    }
+    rem /= radix;
+    stages.push_back({radix, rem});
+  }
+  return stages;
+}
+
+std::size_t largest_prime_factor(std::size_t n) {
+  std::size_t best = 1;
+  for (std::size_t f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      best = f;
+      n /= f;
+    }
+  }
+  return n > 1 ? n : best;
+}
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t next_smooth(std::size_t n) {
+  if (n <= 1) return 1;
+  for (std::size_t v = n;; ++v) {
+    std::size_t r = v;
+    for (std::size_t f : {std::size_t{2}, std::size_t{3}, std::size_t{5}})
+      while (r % f == 0) r /= f;
+    if (r == 1) return v;
+  }
+}
+
+}  // namespace offt::fft

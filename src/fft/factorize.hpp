@@ -1,0 +1,31 @@
+// Integer factorization helpers for FFT planning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace offt::fft {
+
+// One decomposition stage: combine `radix` subtransforms of length `m`.
+// The product radix*m of stage s equals m of stage s-1 (and n for s == 0).
+struct Stage {
+  std::size_t radix;
+  std::size_t m;
+};
+
+// Decomposes n into stages, greedily taking radices in `preference` order
+// while they divide the remainder, then the smallest remaining prime
+// factors.  n must be >= 1.
+std::vector<Stage> factorize(std::size_t n,
+                             const std::vector<std::size_t>& preference);
+
+// Largest prime factor of n (1 for n == 1).
+std::size_t largest_prime_factor(std::size_t n);
+
+bool is_pow2(std::size_t n);
+std::size_t next_pow2(std::size_t n);
+
+// Smallest integer >= n whose prime factors are all in {2, 3, 5}.
+std::size_t next_smooth(std::size_t n);
+
+}  // namespace offt::fft

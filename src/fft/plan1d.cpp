@@ -1,0 +1,296 @@
+#include "fft/plan1d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace offt::fft {
+
+namespace {
+
+// Thread-local scratch buffers.  Each call site asks for a distinct slot so
+// nested uses (e.g. Bluestein's inner transforms while an outer execute is
+// gathering strided data) never alias.
+ComplexVector& tls_scratch(int slot, std::size_t n) {
+  thread_local std::unordered_map<int, ComplexVector> buffers;
+  ComplexVector& buf = buffers[slot];
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+inline Complex mul_by_i(Complex v, double sign) {
+  // sign * i * v
+  return {-sign * v.imag(), sign * v.real()};
+}
+
+}  // namespace
+
+struct Plan1d::Bluestein {
+  // Chirp c[j] = exp(sign * pi * i * j^2 / n); the transform becomes
+  //   X[k] = c[k] * IDFT_M(DFT_M(x .* c) .* B)[k]
+  // where B is the DFT of the wrapped conjugate chirp and M >= 2n-1 is a
+  // power of two (so the inner transforms never recurse into Bluestein).
+  std::size_t m = 0;
+  ComplexVector chirp;    // c[j], j in [0, n)
+  ComplexVector b_freq;   // DFT_M of wrapped conj chirp, pre-scaled by 1/M
+  std::unique_ptr<Plan1d> fwd;
+  std::unique_ptr<Plan1d> bwd;
+};
+
+Plan1d::~Plan1d() = default;
+Plan1d::Plan1d(Plan1d&&) noexcept = default;
+Plan1d& Plan1d::operator=(Plan1d&&) noexcept = default;
+
+Plan1d::Plan1d(std::size_t n, Direction dir, PlanOptions options)
+    : n_(n), dir_(dir), options_(std::move(options)) {
+  OFFT_CHECK_MSG(n >= 1, "FFT length must be positive");
+  if (largest_prime_factor(n_) > kBluesteinThreshold) {
+    build_bluestein();
+  } else {
+    stages_ = factorize(n_, options_.radix_preference);
+    build_twiddles();
+  }
+}
+
+void Plan1d::build_twiddles() {
+  const double sign = direction_sign(dir_);
+  twiddles_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double phase =
+        sign * 2.0 * std::numbers::pi * static_cast<double>(k) /
+        static_cast<double>(n_);
+    twiddles_[k] = {std::cos(phase), std::sin(phase)};
+  }
+}
+
+void Plan1d::build_bluestein() {
+  bluestein_ = std::make_unique<Bluestein>();
+  Bluestein& bs = *bluestein_;
+  bs.m = next_pow2(2 * n_ - 1);
+
+  const double sign = direction_sign(dir_);
+  bs.chirp.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    // j^2 mod 2n keeps the phase argument small and exact.
+    const std::size_t j2 = (j * j) % (2 * n_);
+    const double phase = sign * std::numbers::pi * static_cast<double>(j2) /
+                         static_cast<double>(n_);
+    bs.chirp[j] = {std::cos(phase), std::sin(phase)};
+  }
+
+  bs.fwd = std::make_unique<Plan1d>(bs.m, Direction::Forward);
+  bs.bwd = std::make_unique<Plan1d>(bs.m, Direction::Backward);
+
+  ComplexVector b(bs.m, Complex{0.0, 0.0});
+  b[0] = std::conj(bs.chirp[0]);
+  for (std::size_t j = 1; j < n_; ++j) {
+    b[j] = std::conj(bs.chirp[j]);
+    b[bs.m - j] = std::conj(bs.chirp[j]);
+  }
+  bs.b_freq.resize(bs.m);
+  bs.fwd->execute(b.data(), bs.b_freq.data());
+  const double inv_m = 1.0 / static_cast<double>(bs.m);
+  for (auto& v : bs.b_freq) v *= inv_m;
+}
+
+void Plan1d::butterfly2(Complex* fout, std::size_t fstride,
+                        std::size_t m) const {
+  const Complex* tw = twiddles_.data();
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex t = fout[k + m] * tw[k * fstride];
+    fout[k + m] = fout[k] - t;
+    fout[k] += t;
+  }
+}
+
+void Plan1d::butterfly3(Complex* fout, std::size_t fstride,
+                        std::size_t m) const {
+  const Complex* tw = twiddles_.data();
+  // F1 = x0 - s1/2 + sign*i*(sqrt(3)/2)*s2, F2 mirrors the imaginary term.
+  const double sign = direction_sign(dir_);
+  const double half_sqrt3 = 0.86602540378443864676;
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex x1 = fout[k + m] * tw[k * fstride];
+    const Complex x2 = fout[k + 2 * m] * tw[2 * k * fstride];
+    const Complex s1 = x1 + x2;
+    const Complex s2 = x1 - x2;
+    const Complex x0 = fout[k];
+    const Complex base = x0 - 0.5 * s1;
+    const Complex rot = mul_by_i(s2, sign) * half_sqrt3;
+    fout[k] = x0 + s1;
+    fout[k + m] = base + rot;
+    fout[k + 2 * m] = base - rot;
+  }
+}
+
+void Plan1d::butterfly4(Complex* fout, std::size_t fstride,
+                        std::size_t m) const {
+  const Complex* tw = twiddles_.data();
+  const double sign = direction_sign(dir_);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex x0 = fout[k];
+    const Complex x1 = fout[k + m] * tw[k * fstride];
+    const Complex x2 = fout[k + 2 * m] * tw[2 * k * fstride];
+    const Complex x3 = fout[k + 3 * m] * tw[3 * k * fstride];
+    const Complex y0 = x0 + x2;
+    const Complex y1 = x0 - x2;
+    const Complex y2 = x1 + x3;
+    const Complex y3 = mul_by_i(x1 - x3, sign);
+    fout[k] = y0 + y2;
+    fout[k + 2 * m] = y0 - y2;
+    fout[k + m] = y1 + y3;
+    fout[k + 3 * m] = y1 - y3;
+  }
+}
+
+void Plan1d::butterfly5(Complex* fout, std::size_t fstride,
+                        std::size_t m) const {
+  const Complex* tw = twiddles_.data();
+  const double sign = direction_sign(dir_);
+  const double c1 = 0.30901699437494742410;   // cos(2*pi/5)
+  const double c2 = -0.80901699437494742410;  // cos(4*pi/5)
+  const double s1 = sign * 0.95105651629515357212;  // sign*sin(2*pi/5)
+  const double s2 = sign * 0.58778525229247312917;  // sign*sin(4*pi/5)
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex x0 = fout[k];
+    const Complex x1 = fout[k + m] * tw[k * fstride];
+    const Complex x2 = fout[k + 2 * m] * tw[2 * k * fstride];
+    const Complex x3 = fout[k + 3 * m] * tw[3 * k * fstride];
+    const Complex x4 = fout[k + 4 * m] * tw[4 * k * fstride];
+    const Complex t1 = x1 + x4;
+    const Complex t2 = x2 + x3;
+    const Complex t3 = x1 - x4;
+    const Complex t4 = x2 - x3;
+    const Complex ea = x0 + c1 * t1 + c2 * t2;
+    const Complex eb = x0 + c2 * t1 + c1 * t2;
+    const Complex ia = mul_by_i(s1 * t3 + s2 * t4, 1.0);
+    const Complex ib = mul_by_i(s2 * t3 - s1 * t4, 1.0);
+    fout[k] = x0 + t1 + t2;
+    fout[k + m] = ea + ia;
+    fout[k + 4 * m] = ea - ia;
+    fout[k + 2 * m] = eb + ib;
+    fout[k + 3 * m] = eb - ib;
+  }
+}
+
+void Plan1d::butterfly_generic(Complex* fout, std::size_t fstride,
+                               std::size_t m, std::size_t radix) const {
+  const Complex* tw = twiddles_.data();
+  ComplexVector& scratch = tls_scratch(0, radix);
+  for (std::size_t u = 0; u < m; ++u) {
+    std::size_t k = u;
+    for (std::size_t q1 = 0; q1 < radix; ++q1) {
+      scratch[q1] = fout[k];
+      k += m;
+    }
+    k = u;
+    for (std::size_t q1 = 0; q1 < radix; ++q1) {
+      std::size_t twidx = 0;
+      Complex acc = scratch[0];
+      for (std::size_t q = 1; q < radix; ++q) {
+        twidx += fstride * k;
+        if (twidx >= n_) twidx %= n_;
+        acc += scratch[q] * tw[twidx];
+      }
+      fout[k] = acc;
+      k += m;
+    }
+  }
+}
+
+void Plan1d::work(Complex* fout, const Complex* f, std::size_t fstride,
+                  std::ptrdiff_t in_stride, std::size_t stage) const {
+  const Stage st = stages_[stage];
+  const std::size_t radix = st.radix;
+  const std::size_t m = st.m;
+  if (m == 1) {
+    for (std::size_t q = 0; q < radix; ++q)
+      fout[q] = f[static_cast<std::ptrdiff_t>(q * fstride) * in_stride];
+  } else {
+    for (std::size_t q = 0; q < radix; ++q)
+      work(fout + q * m, f + static_cast<std::ptrdiff_t>(q * fstride) * in_stride,
+           fstride * radix, in_stride, stage + 1);
+  }
+  switch (radix) {
+    case 2: butterfly2(fout, fstride, m); break;
+    case 3: butterfly3(fout, fstride, m); break;
+    case 4: butterfly4(fout, fstride, m); break;
+    case 5: butterfly5(fout, fstride, m); break;
+    default: butterfly_generic(fout, fstride, m, radix); break;
+  }
+}
+
+void Plan1d::execute_direct(const Complex* in, std::ptrdiff_t in_stride,
+                            Complex* out) const {
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+  work(out, in, 1, in_stride, 0);
+}
+
+void Plan1d::execute_bluestein(const Complex* in, std::ptrdiff_t in_stride,
+                               Complex* out) const {
+  const Bluestein& bs = *bluestein_;
+  ComplexVector& a = tls_scratch(1, bs.m);
+  for (std::size_t j = 0; j < n_; ++j)
+    a[j] = in[static_cast<std::ptrdiff_t>(j) * in_stride] * bs.chirp[j];
+  std::memset(static_cast<void*>(a.data() + n_), 0,
+              (bs.m - n_) * sizeof(Complex));
+
+  ComplexVector& freq = tls_scratch(2, bs.m);
+  bs.fwd->execute(a.data(), freq.data());
+  for (std::size_t j = 0; j < bs.m; ++j) freq[j] *= bs.b_freq[j];
+  bs.bwd->execute(freq.data(), a.data());
+  for (std::size_t k = 0; k < n_; ++k) out[k] = a[k] * bs.chirp[k];
+}
+
+void Plan1d::execute(const Complex* in, Complex* out) const {
+  if (bluestein_) {
+    // Bluestein writes out only after it has fully consumed the input, so
+    // in == out is safe (input is copied into scratch first).
+    execute_bluestein(in, 1, out);
+    return;
+  }
+  if (in == out) {
+    ComplexVector& s = tls_scratch(3, n_);
+    execute_direct(in, 1, s.data());
+    std::memcpy(static_cast<void*>(out), s.data(), n_ * sizeof(Complex));
+  } else {
+    execute_direct(in, 1, out);
+  }
+}
+
+void Plan1d::execute_many(const Complex* in, std::ptrdiff_t in_dist,
+                          Complex* out, std::ptrdiff_t out_dist,
+                          std::size_t count) const {
+  for (std::size_t t = 0; t < count; ++t) {
+    execute(in + static_cast<std::ptrdiff_t>(t) * in_dist,
+            out + static_cast<std::ptrdiff_t>(t) * out_dist);
+  }
+}
+
+void Plan1d::execute_strided(const Complex* in, std::ptrdiff_t in_stride,
+                             Complex* out, std::ptrdiff_t out_stride) const {
+  if (in_stride == 1 && out_stride == 1 && in != out) {
+    execute(in, out);
+    return;
+  }
+  ComplexVector& s = tls_scratch(4, n_);
+  if (bluestein_) {
+    execute_bluestein(in, in_stride, s.data());
+  } else {
+    execute_direct(in, in_stride, s.data());
+  }
+  for (std::size_t k = 0; k < n_; ++k)
+    out[static_cast<std::ptrdiff_t>(k) * out_stride] = s[k];
+}
+
+void scale(Complex* data, std::size_t count, double factor) {
+  for (std::size_t i = 0; i < count; ++i) data[i] *= factor;
+}
+
+}  // namespace offt::fft

@@ -1,0 +1,106 @@
+// Batched complex 1-D FFT plans.
+//
+// A Plan1d is the substrate equivalent of an FFTW plan: it freezes the
+// transform length, direction and decomposition (radix order) at
+// construction, precomputes twiddle factors, and can then be executed any
+// number of times on contiguous or strided data.  The engine is a
+// recursive mixed-radix Cooley-Tukey with specialized radix-2/3/4/5
+// butterflies and a generic O(r^2) butterfly for other small primes;
+// lengths containing a prime factor above kBluesteinThreshold use
+// Bluestein's chirp-z algorithm over a power-of-two convolution.
+//
+// Execution is const and thread-compatible (scratch space is
+// thread-local), so one plan may be shared by all simulated ranks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fft/factorize.hpp"
+#include "fft/types.hpp"
+
+namespace offt::fft {
+
+// Prime factors above this are handled via Bluestein instead of the
+// generic butterfly (whose cost grows quadratically in the radix).
+inline constexpr std::size_t kBluesteinThreshold = 61;
+
+struct PlanOptions {
+  // Radix preference order used by factorize(); the planner explores a few
+  // of these and measures which is fastest (see planner.hpp).
+  std::vector<std::size_t> radix_preference = {4, 2, 3, 5};
+};
+
+class Plan1d {
+ public:
+  Plan1d(std::size_t n, Direction dir, PlanOptions options = {});
+
+  std::size_t size() const { return n_; }
+  Direction direction() const { return dir_; }
+  bool uses_bluestein() const { return bluestein_ != nullptr; }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  // Single transform over contiguous data.  In-place allowed (in == out).
+  void execute(const Complex* in, Complex* out) const;
+  void execute_inplace(Complex* data) const { execute(data, data); }
+
+  // `count` transforms; transform t reads in + t*in_dist and writes
+  // out + t*out_dist, both contiguous pencils.  In-place allowed when
+  // in == out and in_dist == out_dist.
+  void execute_many(const Complex* in, std::ptrdiff_t in_dist, Complex* out,
+                    std::ptrdiff_t out_dist, std::size_t count) const;
+  void execute_many_inplace(Complex* data, std::ptrdiff_t dist,
+                            std::size_t count) const {
+    execute_many(data, dist, data, dist, count);
+  }
+
+  // Single transform whose elements are `stride` apart (gather/scatter
+  // through scratch).  In-place allowed.
+  void execute_strided(const Complex* in, std::ptrdiff_t in_stride,
+                       Complex* out, std::ptrdiff_t out_stride) const;
+
+ private:
+  void build_twiddles();
+  void build_bluestein();
+
+  // Recursive Cooley-Tukey: writes the length (radix*m of stage `stage`)
+  // sub-transform of f (elements `fstride * in_stride` apart) to fout.
+  void work(Complex* fout, const Complex* f, std::size_t fstride,
+            std::ptrdiff_t in_stride, std::size_t stage) const;
+
+  void butterfly2(Complex* fout, std::size_t fstride, std::size_t m) const;
+  void butterfly3(Complex* fout, std::size_t fstride, std::size_t m) const;
+  void butterfly4(Complex* fout, std::size_t fstride, std::size_t m) const;
+  void butterfly5(Complex* fout, std::size_t fstride, std::size_t m) const;
+  void butterfly_generic(Complex* fout, std::size_t fstride, std::size_t m,
+                         std::size_t radix) const;
+
+  void execute_direct(const Complex* in, std::ptrdiff_t in_stride,
+                      Complex* out) const;
+  void execute_bluestein(const Complex* in, std::ptrdiff_t in_stride,
+                         Complex* out) const;
+
+  std::size_t n_;
+  Direction dir_;
+  PlanOptions options_;
+  std::vector<Stage> stages_;
+  ComplexVector twiddles_;  // twiddles_[k] = exp(sign * 2*pi*i*k / n)
+
+  // Bluestein machinery (only for lengths with a huge prime factor).
+  struct Bluestein;
+  std::unique_ptr<Bluestein> bluestein_;
+
+ public:
+  ~Plan1d();
+  Plan1d(Plan1d&&) noexcept;
+  Plan1d& operator=(Plan1d&&) noexcept;
+  Plan1d(const Plan1d&) = delete;
+  Plan1d& operator=(const Plan1d&) = delete;
+};
+
+// Multiplies `count` complex values by `factor` (normalization helper for
+// backward transforms, which are unnormalized like FFTW's).
+void scale(Complex* data, std::size_t count, double factor);
+
+}  // namespace offt::fft

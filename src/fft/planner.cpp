@@ -1,0 +1,115 @@
+#include "fft/planner.hpp"
+
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace offt::fft {
+
+const char* to_string(Planning p) {
+  switch (p) {
+    case Planning::Estimate: return "estimate";
+    case Planning::Measure: return "measure";
+    case Planning::Patient: return "patient";
+  }
+  return "?";
+}
+
+namespace {
+
+std::mutex g_cache_mutex;
+std::map<std::tuple<std::size_t, int, int>, std::shared_ptr<const Plan1d>>
+    g_cache;
+
+std::vector<PlanOptions> candidate_options(Planning planning) {
+  std::vector<PlanOptions> cands;
+  cands.push_back({{4, 2, 3, 5}});
+  if (planning == Planning::Estimate) return cands;
+  cands.push_back({{2, 3, 5}});
+  cands.push_back({{8, 4, 2, 3, 5}});
+  if (planning == Planning::Patient) {
+    // PATIENT explores the full radix-order neighbourhood, like
+    // FFTW_PATIENT trying many codelet decompositions.
+    cands.push_back({{4, 8, 2, 5, 3}});
+    cands.push_back({{3, 5, 4, 2}});
+    cands.push_back({{5, 3, 4, 2}});
+    cands.push_back({{16, 8, 4, 2, 3, 5}});
+    cands.push_back({{2, 4, 8, 3, 5}});
+    cands.push_back({{8, 2, 4, 5, 3}});
+    cands.push_back({{16, 4, 2, 3, 5}});
+    cands.push_back({{4, 2, 5, 3}});
+  }
+  return cands;
+}
+
+// Times single transforms and a batched pencil workload (the shape the
+// 3-D pipeline actually executes), like FFTW planning on real usage.
+double time_plan(const Plan1d& plan, ComplexVector& buf, int reps,
+                 std::size_t batch) {
+  const std::size_t n = plan.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = util::thread_cpu_now();
+    plan.execute_many_inplace(buf.data(), static_cast<std::ptrdiff_t>(n),
+                              batch);
+    best = std::min(best, util::thread_cpu_now() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan1d> plan_best_1d(std::size_t n, Direction dir,
+                                           Planning planning,
+                                           double* tuning_seconds) {
+  if (tuning_seconds) *tuning_seconds = 0.0;
+  const auto key = std::make_tuple(n, static_cast<int>(dir),
+                                   static_cast<int>(planning));
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mutex);
+    const auto it = g_cache.find(key);
+    if (it != g_cache.end()) return it->second;
+  }
+
+  const double t_start = util::wall_now();
+  std::shared_ptr<const Plan1d> best;
+  if (planning == Planning::Estimate || n <= 2) {
+    best = std::make_shared<const Plan1d>(n, dir);
+  } else {
+    // Measure each candidate decomposition on random data and keep the
+    // fastest.  Patient mode runs more repetitions to suppress noise.
+    util::Rng rng(n * 1315423911ull + static_cast<std::uint64_t>(dir));
+    const std::size_t batch = planning == Planning::Patient ? 64 : 16;
+    ComplexVector buf(n * batch);
+    for (auto& v : buf) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+    const int reps = planning == Planning::Patient ? 25 : 3;
+    double best_time = std::numeric_limits<double>::infinity();
+    for (const PlanOptions& opts : candidate_options(planning)) {
+      auto plan = std::make_shared<const Plan1d>(n, dir, opts);
+      const double t = time_plan(*plan, buf, reps, batch);
+      if (t < best_time) {
+        best_time = t;
+        best = std::move(plan);
+      }
+    }
+  }
+  if (tuning_seconds) *tuning_seconds = util::wall_now() - t_start;
+
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  auto [it, inserted] = g_cache.emplace(key, std::move(best));
+  (void)inserted;  // A racing thread may have planned the same key; keep one.
+  return it->second;
+}
+
+void clear_plan_cache() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  g_cache.clear();
+}
+
+}  // namespace offt::fft

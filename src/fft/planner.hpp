@@ -1,0 +1,32 @@
+// Measured FFT planning, mirroring FFTW's ESTIMATE / MEASURE / PATIENT
+// flags (§4.1 of the paper tunes the FFTW-delegated code sections with
+// FFTW_PATIENT before the ten pipeline parameters are searched).
+//
+// Estimate picks a decomposition heuristically; Measure times each
+// candidate radix order once; Patient repeats the timings and explores a
+// larger candidate set.  plan_best_1d() also reports how long planning
+// took, which feeds the paper's Table 4 (auto-tuning time).
+#pragma once
+
+#include <memory>
+
+#include "fft/plan1d.hpp"
+
+namespace offt::fft {
+
+enum class Planning { Estimate, Measure, Patient };
+
+const char* to_string(Planning p);
+
+// Returns the fastest plan for (n, dir) under the given planning rigor.
+// Results are cached process-wide; `tuning_seconds`, when non-null,
+// receives the wall time spent measuring for this call (0 on cache hit).
+std::shared_ptr<const Plan1d> plan_best_1d(std::size_t n, Direction dir,
+                                           Planning planning,
+                                           double* tuning_seconds = nullptr);
+
+// Drops all cached plans (used by tests and by benchmarks that want to
+// re-measure planning cost from a cold start).
+void clear_plan_cache();
+
+}  // namespace offt::fft

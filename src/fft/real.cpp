@@ -1,0 +1,87 @@
+#include "fft/real.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace offt::fft {
+
+namespace {
+
+ComplexVector& r2c_scratch(std::size_t n) {
+  thread_local ComplexVector buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+}  // namespace
+
+PlanR2c::PlanR2c(std::size_t n, PlanOptions options)
+    : n_(n),
+      half_fwd_(n / 2 == 0 ? 1 : n / 2, Direction::Forward, options),
+      half_bwd_(n / 2 == 0 ? 1 : n / 2, Direction::Backward, options) {
+  OFFT_CHECK_MSG(n >= 2 && n % 2 == 0,
+                 "PlanR2c needs an even length (half-length packing)");
+  const std::size_t m = n_ / 2;
+  twiddles_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double phase = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n_);
+    twiddles_[k] = {std::cos(phase), std::sin(phase)};
+  }
+}
+
+void PlanR2c::execute(const double* in, Complex* out) const {
+  const std::size_t m = n_ / 2;
+  // Pack x[2j] + i*x[2j+1] and transform once at half length.
+  ComplexVector& z = r2c_scratch(2 * m);
+  Complex* zf = z.data() + m;
+  for (std::size_t j = 0; j < m; ++j) z[j] = {in[2 * j], in[2 * j + 1]};
+  half_fwd_.execute(z.data(), zf);
+
+  // Untangle: E[k] = (Z[k]+conj(Z[m-k]))/2 is the spectrum of the even
+  // samples, O[k] = (Z[k]-conj(Z[m-k]))/(2i) of the odd samples, and
+  // X[k] = E[k] + w^k O[k] with w = exp(-2*pi*i/n).
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex zk = zf[k];
+    const Complex zc = std::conj(zf[(m - k) % m]);
+    const Complex e = 0.5 * (zk + zc);
+    const Complex d = 0.5 * (zk - zc);
+    const Complex o{d.imag(), -d.real()};  // d / i
+    out[k] = e + twiddles_[k] * o;
+  }
+  // Nyquist bin: w^m = -1, built from the DC parts of E and O.
+  const Complex z0 = zf[0];
+  out[m] = {z0.real() - z0.imag(), 0.0};
+  // Enforce the exactly-real DC bin (it is real analytically).
+  out[0] = {out[0].real(), 0.0};
+}
+
+void PlanR2c::execute_c2r(const Complex* in, double* out) const {
+  const std::size_t m = n_ / 2;
+  // Retangle (factors of 2 folded in so the unnormalized backward
+  // transform yields exactly n * x):
+  //   E'[k]      = X[k] + conj(X[m-k])
+  //   w^k O'[k]  = X[k] - conj(X[m-k])
+  //   Z'[k]      = E'[k] + i * O'[k]
+  ComplexVector& z = r2c_scratch(2 * m);
+  Complex* zt = z.data() + m;
+  for (std::size_t k = 0; k < m; ++k) {
+    const Complex xk = in[k];
+    const Complex xc = std::conj(in[m - k]);
+    const Complex e = xk + xc;
+    const Complex wo = xk - xc;
+    const Complex o = std::conj(twiddles_[k]) * wo;
+    zt[k] = e + Complex{-o.imag(), o.real()};  // e + i*o
+  }
+  half_bwd_.execute(zt, z.data());
+  // B[j] = sum_k Z'[k] e^{2 pi i jk/m} = 2m * z[j] = n * z[j]: exactly the
+  // unnormalized c2r convention.
+  for (std::size_t j = 0; j < m; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
+}
+
+}  // namespace offt::fft

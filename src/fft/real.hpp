@@ -1,0 +1,41 @@
+// Real-to-complex (r2c) and complex-to-real (c2r) 1-D transforms via the
+// classic half-length complex trick (Sorensen et al. 1987, the technique
+// the paper cites in §2.3): a real signal of even length n is packed into
+// a complex signal of length n/2, transformed once, and untangled with
+// one pass of twiddles — roughly half the work of a complex transform.
+//
+// Conventions match FFTW's r2c/c2r: the forward transform of n reals
+// produces n/2+1 complex coefficients (the non-negative frequencies; the
+// rest follow from conjugate symmetry), and the backward transform is
+// unnormalized (c2r(r2c(x)) == n * x).
+#pragma once
+
+#include "fft/plan1d.hpp"
+
+namespace offt::fft {
+
+class PlanR2c {
+ public:
+  // n must be even (the half-length trick needs it).
+  explicit PlanR2c(std::size_t n, PlanOptions options = {});
+
+  std::size_t size() const { return n_; }
+  // Number of complex outputs: n/2 + 1.
+  std::size_t spectrum_size() const { return n_ / 2 + 1; }
+
+  // Forward: n reals -> n/2+1 complex coefficients.
+  void execute(const double* in, Complex* out) const;
+
+  // Backward: n/2+1 complex coefficients -> n reals (unnormalized).
+  // The imaginary parts of in[0] and in[n/2] are ignored (they are zero
+  // for any spectrum of a real signal).
+  void execute_c2r(const Complex* in, double* out) const;
+
+ private:
+  std::size_t n_;
+  Plan1d half_fwd_;
+  Plan1d half_bwd_;
+  ComplexVector twiddles_;  // exp(-2*pi*i*k/n), k in [0, n/2)
+};
+
+}  // namespace offt::fft

@@ -1,0 +1,26 @@
+// Slow, obviously-correct reference transforms used by the test suites and
+// by the serial 3-D FFT that validates the distributed pipeline.
+#pragma once
+
+#include <cstddef>
+
+#include "fft/types.hpp"
+
+namespace offt::fft {
+
+// O(n^2) direct DFT.  in and out must not alias.
+void dft_1d_naive(const Complex* in, Complex* out, std::size_t n,
+                  Direction dir);
+
+// Serial 3-D FFT over a contiguous row-major x-y-z array (z fastest),
+// transforming along all three dimensions in place.  Cost is
+// O(n^3 log n) via Plan1d; this is the ground truth for the distributed
+// pipeline and the workhorse for single-process examples.
+void fft3d_serial(Complex* data, std::size_t nx, std::size_t ny,
+                  std::size_t nz, Direction dir);
+
+// O((nx*ny*nz)*(nx+ny+nz)) triple naive DFT, for tiny validation cases.
+void dft3d_naive(const Complex* in, Complex* out, std::size_t nx,
+                 std::size_t ny, std::size_t nz, Direction dir);
+
+}  // namespace offt::fft

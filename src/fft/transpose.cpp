@@ -1,0 +1,74 @@
+#include "fft/transpose.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace offt::fft {
+
+void transpose_2d_naive(const Complex* in, std::size_t rows, std::size_t cols,
+                        Complex* out) {
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+}
+
+void transpose_2d_blocked(const Complex* in, std::size_t rows,
+                          std::size_t cols, Complex* out, std::size_t block) {
+  OFFT_DCHECK(block >= 1);
+  for (std::size_t rb = 0; rb < rows; rb += block) {
+    const std::size_t r_end = std::min(rows, rb + block);
+    for (std::size_t cb = 0; cb < cols; cb += block) {
+      const std::size_t c_end = std::min(cols, cb + block);
+      for (std::size_t r = rb; r < r_end; ++r)
+        for (std::size_t c = cb; c < c_end; ++c)
+          out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+void transpose_2d_inplace_square(Complex* a, std::size_t n,
+                                 std::size_t block) {
+  for (std::size_t rb = 0; rb < n; rb += block) {
+    const std::size_t r_end = std::min(n, rb + block);
+    for (std::size_t cb = rb; cb < n; cb += block) {
+      const std::size_t c_end = std::min(n, cb + block);
+      for (std::size_t r = rb; r < r_end; ++r) {
+        const std::size_t c_start = (cb == rb) ? r + 1 : cb;
+        for (std::size_t c = c_start; c < c_end; ++c)
+          std::swap(a[r * n + c], a[c * n + r]);
+      }
+    }
+  }
+}
+
+void permute_xyz_to_zxy(const Complex* in, std::size_t x, std::size_t y,
+                        std::size_t z, Complex* out, bool blocked) {
+  // Rows = x*y (the combined slow dims), cols = z.
+  if (blocked)
+    transpose_2d_blocked(in, x * y, z, out);
+  else
+    transpose_2d_naive(in, x * y, z, out);
+}
+
+void permute_zxy_to_xyz(const Complex* in, std::size_t x, std::size_t y,
+                        std::size_t z, Complex* out, bool blocked) {
+  if (blocked)
+    transpose_2d_blocked(in, z, x * y, out);
+  else
+    transpose_2d_naive(in, z, x * y, out);
+}
+
+void permute_xyz_to_xzy(const Complex* in, std::size_t x, std::size_t y,
+                        std::size_t z, Complex* out, bool blocked) {
+  for (std::size_t i = 0; i < x; ++i) {
+    const Complex* slab_in = in + i * y * z;
+    Complex* slab_out = out + i * y * z;
+    if (blocked)
+      transpose_2d_blocked(slab_in, y, z, slab_out);
+    else
+      transpose_2d_naive(slab_in, y, z, slab_out);
+  }
+}
+
+}  // namespace offt::fft

@@ -1,0 +1,42 @@
+// Local memory-layout rearrangements.
+//
+// The 3-D pipeline only ever needs two families of permutation, and both
+// reduce to 2-D matrix transposes:
+//   x-y-z -> z-x-y  == transpose of an (X*Y) x Z matrix,
+//   x-y-z -> x-z-y  == X independent transposes of Y x Z matrices
+//                      (the Nx == Ny fast path of §3.5).
+// Cache-blocked variants are the "FFTW guru transpose" stand-ins used by
+// the NEW method; naive variants model the simpler transpose of the TH
+// baseline (the paper's Fig. 8 shows TH spending much longer in
+// Transpose).
+#pragma once
+
+#include <cstddef>
+
+#include "fft/types.hpp"
+
+namespace offt::fft {
+
+// out[c*rows + r] = in[r*cols + c].  in and out must not alias.
+void transpose_2d_naive(const Complex* in, std::size_t rows, std::size_t cols,
+                        Complex* out);
+
+// Same mapping, iterated over cache-sized blocks.
+void transpose_2d_blocked(const Complex* in, std::size_t rows,
+                          std::size_t cols, Complex* out,
+                          std::size_t block = 32);
+
+// In-place transpose of a square n x n matrix (blocked).
+void transpose_2d_inplace_square(Complex* a, std::size_t n,
+                                 std::size_t block = 32);
+
+// 3-D permutations over a slab of X*Y*Z elements in row-major x-y-z order
+// (z fastest).  `blocked` selects the cache-blocked kernel.
+void permute_xyz_to_zxy(const Complex* in, std::size_t x, std::size_t y,
+                        std::size_t z, Complex* out, bool blocked = true);
+void permute_zxy_to_xyz(const Complex* in, std::size_t x, std::size_t y,
+                        std::size_t z, Complex* out, bool blocked = true);
+void permute_xyz_to_xzy(const Complex* in, std::size_t x, std::size_t y,
+                        std::size_t z, Complex* out, bool blocked = true);
+
+}  // namespace offt::fft

@@ -1,0 +1,29 @@
+// Basic value types shared by the FFT substrate and everything above it.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "util/aligned.hpp"
+
+namespace offt::fft {
+
+// All transforms are double-precision complex-to-complex, matching the
+// paper's assumption (§2.3).
+using Complex = std::complex<double>;
+using ComplexVector = util::AlignedVector<Complex>;
+
+// Sign convention follows FFTW: Forward uses exp(-2*pi*i*jk/N), Backward
+// uses exp(+2*pi*i*jk/N), and neither direction normalizes — a
+// forward+backward round trip multiplies the data by N.
+enum class Direction { Forward, Backward };
+
+inline constexpr double direction_sign(Direction d) {
+  return d == Direction::Forward ? -1.0 : 1.0;
+}
+
+inline constexpr Direction reverse(Direction d) {
+  return d == Direction::Forward ? Direction::Backward : Direction::Forward;
+}
+
+}  // namespace offt::fft

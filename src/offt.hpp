@@ -1,0 +1,21 @@
+// Umbrella header: pulls in the whole public API.
+//
+//   #include "offt.hpp"
+//
+//   offt::core::Plan3d        — the overlapped parallel 3-D FFT
+//   offt::core::tune_fft3d    — auto-tuning of its ten parameters
+//   offt::core::DistributedField — slab container for examples/tests
+//   offt::sim::Cluster        — the virtual-time cluster it runs on
+//   offt::fft::Plan1d         — the serial FFT substrate
+//   offt::tune::NelderMead    — the generic auto-tuner
+#pragma once
+
+#include "core/fft_tuner.hpp"
+#include "core/plan3d.hpp"
+#include "fft/plan1d.hpp"
+#include "fft/planner.hpp"
+#include "fft/reference.hpp"
+#include "fft/transpose.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+#include "tune/tuner.hpp"

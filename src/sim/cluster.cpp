@@ -1,0 +1,461 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/internal.hpp"
+#include "util/check.hpp"
+
+namespace offt::sim {
+
+using detail::AbortSignal;
+using detail::ClusterImpl;
+using detail::Message;
+using detail::MessagePtr;
+using detail::MsgKey;
+using detail::P2pState;
+using detail::RankCtx;
+using detail::RequestState;
+using detail::SimCall;
+
+namespace detail {
+
+// ---------------------------------------------------------------------
+// SimCall
+// ---------------------------------------------------------------------
+
+SimCall::SimCall(ClusterImpl& impl, RankCtx& me)
+    : me_(me), lock_(impl.mu) {
+  const Seconds cpu = util::thread_cpu_now();
+  me.clock += (cpu - me.seg_start) * impl.net.compute_scale;
+  impl.yield_to_min(me, lock_);
+}
+
+SimCall::~SimCall() { me_.seg_start = util::thread_cpu_now(); }
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+void ClusterImpl::schedule_next() {
+  RankCtx* best = nullptr;
+  for (auto& r : ranks) {
+    if (r->st != RankCtx::St::Ready && r->st != RankCtx::St::WaitTime)
+      continue;
+    if (!best || r->effective_clock() < best->effective_clock()) best = r.get();
+  }
+  if (best) {
+    if (best->st == RankCtx::St::WaitTime)
+      best->clock = std::max(best->clock, best->wake);
+    best->st = RankCtx::St::Active;
+    best->cv.notify_one();
+    return;
+  }
+  if (unfinished > 0 && !aborted) {
+    // Every remaining rank is blocked on a message that no runnable rank
+    // can ever complete.
+    std::ostringstream os;
+    os << "simulated deadlock: " << unfinished
+       << " rank(s) blocked with no runnable peer;";
+    for (auto& r : ranks) {
+      if (r->st == RankCtx::St::WaitMatch) {
+        os << " rank " << r->rank << " waiting on " << r->wait_set.size()
+           << " request(s) at t=" << r->clock << ";";
+      }
+    }
+    abort_run(std::make_exception_ptr(DeadlockError(os.str())));
+  }
+}
+
+void ClusterImpl::yield_to_min(RankCtx& me, std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (aborted) throw AbortSignal{};
+    RankCtx* smaller = nullptr;
+    for (auto& r : ranks) {
+      if (r.get() == &me) continue;
+      if (r->st != RankCtx::St::Ready && r->st != RankCtx::St::WaitTime)
+        continue;
+      const Seconds ec = r->effective_clock();
+      if (ec < me.clock || (ec == me.clock && r->rank < me.rank)) {
+        smaller = r.get();
+        break;
+      }
+    }
+    if (!smaller) {
+      me.st = RankCtx::St::Active;
+      return;
+    }
+    me.st = RankCtx::St::Ready;
+    schedule_next();
+    me.cv.wait(lock, [&] {
+      return me.st == RankCtx::St::Active || aborted;
+    });
+    if (aborted) throw AbortSignal{};
+  }
+}
+
+void ClusterImpl::suspend_until(RankCtx& me, Seconds wake,
+                                std::unique_lock<std::mutex>& lock) {
+  me.st = RankCtx::St::WaitTime;
+  me.wake = wake;
+  schedule_next();
+  me.cv.wait(lock,
+             [&] { return me.st == RankCtx::St::Active || aborted; });
+  if (aborted) throw AbortSignal{};
+}
+
+void ClusterImpl::suspend_match(RankCtx& me,
+                                std::vector<RequestState*> wait_set,
+                                std::unique_lock<std::mutex>& lock) {
+  me.st = RankCtx::St::WaitMatch;
+  me.wait_set = std::move(wait_set);
+  schedule_next();
+  me.cv.wait(lock,
+             [&] { return me.st == RankCtx::St::Active || aborted; });
+  me.wait_set.clear();
+  if (aborted) throw AbortSignal{};
+}
+
+void ClusterImpl::reeval_waitmatch() {
+  for (auto& r : ranks) {
+    if (r->st != RankCtx::St::WaitMatch) continue;
+    std::optional<Seconds> earliest;
+    for (RequestState* s : r->wait_set) {
+      if (s->done) {
+        earliest = r->clock;
+        break;
+      }
+      if (const auto ev = s->next_event()) {
+        if (!earliest || *ev < *earliest) earliest = *ev;
+      }
+    }
+    if (earliest) {
+      r->st = RankCtx::St::WaitTime;
+      r->wake = *earliest;
+    }
+  }
+}
+
+void ClusterImpl::abort_run(std::exception_ptr err) {
+  if (!error) error = err;
+  aborted = true;
+  for (auto& r : ranks) r->cv.notify_all();
+  done_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Messaging
+// ---------------------------------------------------------------------
+
+void ClusterImpl::pair(Message& m) {
+  const LinkParams& lp = net.link(m.src, m.dst);
+  const Seconds wire = net.wire_time(m.bytes, m.src, m.dst, nranks);
+  const Seconds start =
+      std::max({m.send_post, m.recv_post, port_free[m.src]});
+  port_free[m.src] = start + wire;
+  m.completion = start + lp.alpha + wire;
+  m.paired = true;
+  if (m.bytes > 0) std::memcpy(m.dst_buf, m.src_buf, m.bytes);
+  reeval_waitmatch();
+}
+
+MessagePtr ClusterImpl::post_send(RankCtx& me, const void* buf,
+                                  std::size_t bytes, int dst, int tag) {
+  me.clock += net.injection_overhead;
+  ++me.post_count;
+  const MsgKey key{me.rank, dst, tag};
+  auto& recvq = pending_recv[key];
+  MessagePtr m;
+  if (!recvq.empty()) {
+    m = recvq.front();
+    recvq.pop_front();
+    OFFT_DCHECK(m->bytes == bytes);
+    m->src_buf = buf;
+    m->send_post = me.clock;
+    m->send_posted = true;
+    pair(*m);
+  } else {
+    m = std::make_shared<Message>();
+    m->src = me.rank;
+    m->dst = dst;
+    m->tag = tag;
+    m->bytes = bytes;
+    m->src_buf = buf;
+    m->send_post = me.clock;
+    m->send_posted = true;
+    pending_send[key].push_back(m);
+  }
+  return m;
+}
+
+MessagePtr ClusterImpl::post_recv(RankCtx& me, void* buf, std::size_t bytes,
+                                  int src, int tag) {
+  me.clock += net.injection_overhead;
+  ++me.post_count;
+  const MsgKey key{src, me.rank, tag};
+  auto& sendq = pending_send[key];
+  MessagePtr m;
+  if (!sendq.empty()) {
+    m = sendq.front();
+    sendq.pop_front();
+    OFFT_DCHECK(m->bytes == bytes);
+    m->dst_buf = buf;
+    m->recv_post = me.clock;
+    m->recv_posted = true;
+    pair(*m);
+  } else {
+    m = std::make_shared<Message>();
+    m->src = src;
+    m->dst = me.rank;
+    m->tag = tag;
+    m->bytes = bytes;
+    m->dst_buf = buf;
+    m->recv_post = me.clock;
+    m->recv_posted = true;
+    pending_recv[key].push_back(m);
+  }
+  return m;
+}
+
+void ClusterImpl::progress_all(RankCtx& me) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < me.live.size(); ++i) {
+    std::shared_ptr<RequestState> s = me.live[i].lock();
+    if (!s) continue;  // handle dropped: prune
+    s->progress(*this, me);
+    if (!s->done) me.live[kept++] = std::move(me.live[i]);
+  }
+  me.live.resize(kept);
+}
+
+void ClusterImpl::wait_on(RankCtx& me, std::vector<RequestState*> targets,
+                          std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    progress_all(me);
+    bool all_done = true;
+    for (RequestState* s : targets) all_done &= s->progress(*this, me);
+    if (all_done) return;
+
+    // The wake time considers every live request, not just the targets:
+    // a blocking MPI call keeps the whole progress engine moving, so a
+    // sibling collective's round completion is a reason to wake up and
+    // post its next round.
+    std::optional<Seconds> earliest;
+    std::vector<RequestState*> pendings;
+    auto consider = [&](RequestState* s) {
+      if (s->done) return;
+      pendings.push_back(s);
+      if (const auto ev = s->next_event()) {
+        if (!earliest || *ev < *earliest) earliest = *ev;
+      }
+    };
+    for (const auto& weak : me.live) {
+      if (const auto s = weak.lock()) consider(s.get());
+    }
+    for (RequestState* s : targets) {
+      if (std::find(pendings.begin(), pendings.end(), s) == pendings.end())
+        consider(s);
+    }
+    if (earliest) {
+      suspend_until(me, *earliest, lock);
+    } else {
+      suspend_match(me, std::move(pendings), lock);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Request states
+// ---------------------------------------------------------------------
+
+bool P2pState::progress(ClusterImpl&, RankCtx& me) {
+  if (!done && msg->complete_at(me.clock)) done = true;
+  return done;
+}
+
+std::optional<Seconds> P2pState::next_event() const {
+  if (done) return std::nullopt;
+  if (msg->paired) return msg->completion;
+  return std::nullopt;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------
+
+bool Request::done() const { return !state_ || state_->done; }
+
+// ---------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------
+
+int Comm::rank() const { return me_->rank; }
+int Comm::size() const { return impl_->nranks; }
+const NetworkModel& Comm::network() const { return impl_->net; }
+
+Seconds Comm::now() const {
+  return me_->clock +
+         (util::thread_cpu_now() - me_->seg_start) * impl_->net.compute_scale;
+}
+
+void Comm::advance(Seconds dt) {
+  OFFT_CHECK_MSG(dt >= 0, "cannot advance virtual time backwards");
+  SimCall call(*impl_, *me_);
+  me_->clock += dt;
+}
+
+Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag) {
+  OFFT_CHECK_MSG(dst >= 0 && dst < impl_->nranks, "invalid destination rank");
+  OFFT_CHECK_MSG(tag >= 0 && tag < detail::kCollTagBase,
+                 "user tags must be in [0, 2^30)");
+  SimCall call(*impl_, *me_);
+  auto st = std::make_shared<P2pState>();
+  st->msg = impl_->post_send(*me_, buf, bytes, dst, tag);
+  st->recv_side = false;
+  me_->live.push_back(st);
+  return Request(std::move(st));
+}
+
+Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
+  OFFT_CHECK_MSG(src >= 0 && src < impl_->nranks, "invalid source rank");
+  OFFT_CHECK_MSG(tag >= 0 && tag < detail::kCollTagBase,
+                 "user tags must be in [0, 2^30)");
+  SimCall call(*impl_, *me_);
+  auto st = std::make_shared<P2pState>();
+  st->msg = impl_->post_recv(*me_, buf, bytes, src, tag);
+  st->recv_side = true;
+  me_->live.push_back(st);
+  return Request(std::move(st));
+}
+
+void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) {
+  Request r = isend(buf, bytes, dst, tag);
+  wait(r);
+}
+
+void Comm::recv(void* buf, std::size_t bytes, int src, int tag) {
+  Request r = irecv(buf, bytes, src, tag);
+  wait(r);
+}
+
+bool Comm::test(Request& req) {
+  SimCall call(*impl_, *me_);
+  me_->clock += impl_->net.test_overhead;
+  ++me_->test_count;
+  // Like MPI_Test, one poll drives the whole progress engine (§3.3): all
+  // of this rank's outstanding operations advance, then the queried
+  // request's status is returned.
+  impl_->progress_all(*me_);
+  if (!req.state_) return true;
+  return req.state_->progress(*impl_, *me_);
+}
+
+void Comm::wait(Request& req) {
+  if (!req.state_) return;
+  SimCall call(*impl_, *me_);
+  impl_->wait_on(*me_, {req.state_.get()}, call.lock());
+}
+
+void Comm::waitall(std::vector<Request>& reqs) {
+  std::vector<RequestState*> states;
+  states.reserve(reqs.size());
+  for (Request& r : reqs)
+    if (r.state_) states.push_back(r.state_.get());
+  if (states.empty()) return;
+  SimCall call(*impl_, *me_);
+  impl_->wait_on(*me_, std::move(states), call.lock());
+}
+
+std::uint64_t Comm::test_calls() const { return me_->test_count; }
+std::uint64_t Comm::messages_posted() const { return me_->post_count; }
+
+// ---------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------
+
+Cluster::Cluster(int nranks, NetworkModel model)
+    : impl_(std::make_unique<ClusterImpl>()) {
+  OFFT_CHECK_MSG(nranks >= 1, "cluster needs at least one rank");
+  impl_->net = model;
+  impl_->nranks = nranks;
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::size() const { return impl_->nranks; }
+const NetworkModel& Cluster::network() const { return impl_->net; }
+
+RunResult Cluster::run(const std::function<void(Comm&)>& fn) {
+  ClusterImpl& impl = *impl_;
+  {
+    std::lock_guard<std::mutex> guard(impl.mu);
+    impl.ranks.clear();
+    impl.pending_send.clear();
+    impl.pending_recv.clear();
+    impl.port_free.assign(impl.nranks, 0.0);
+    impl.unfinished = impl.nranks;
+    impl.aborted = false;
+    impl.error = nullptr;
+    for (int r = 0; r < impl.nranks; ++r) {
+      auto ctx = std::make_unique<RankCtx>();
+      ctx->rank = r;
+      ctx->st = RankCtx::St::Ready;
+      impl.ranks.push_back(std::move(ctx));
+    }
+  }
+
+  for (int r = 0; r < impl.nranks; ++r) {
+    RankCtx* me = impl.ranks[r].get();
+    me->thread = std::thread([&impl, me, &fn] {
+      {
+        std::unique_lock<std::mutex> lock(impl.mu);
+        me->cv.wait(lock, [&] {
+          return me->st == RankCtx::St::Active || impl.aborted;
+        });
+        me->seg_start = util::thread_cpu_now();
+      }
+      bool clean = !impl.aborted;
+      if (clean) {
+        Comm comm(&impl, me);
+        try {
+          fn(comm);
+        } catch (const AbortSignal&) {
+          clean = false;
+        } catch (...) {
+          std::lock_guard<std::mutex> guard(impl.mu);
+          impl.abort_run(std::current_exception());
+          clean = false;
+        }
+      }
+      std::lock_guard<std::mutex> guard(impl.mu);
+      me->st = RankCtx::St::Finished;
+      --impl.unfinished;
+      if (impl.unfinished == 0) {
+        impl.done_cv.notify_all();
+      } else if (clean) {
+        impl.schedule_next();
+      }
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(impl.mu);
+    impl.schedule_next();
+    impl.done_cv.wait(lock, [&] { return impl.unfinished == 0; });
+  }
+  for (auto& r : impl.ranks) r->thread.join();
+
+  if (impl.error) std::rethrow_exception(impl.error);
+
+  RunResult result;
+  result.rank_times.reserve(impl.nranks);
+  for (auto& r : impl.ranks) {
+    result.rank_times.push_back(r->clock);
+    result.makespan = std::max(result.makespan, r->clock);
+  }
+  return result;
+}
+
+}  // namespace offt::sim

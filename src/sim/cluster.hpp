@@ -1,0 +1,173 @@
+// Virtual-time cluster simulator with MPI-like message passing.
+//
+// Cluster::run(fn) executes fn(Comm&) once per simulated rank.  Each rank
+// is carried by its own thread, but a baton scheduler lets exactly one
+// execute at a time and always resumes the runnable rank with the
+// smallest *virtual clock*.  A rank's clock advances by
+//   - its measured compute time (CLOCK_THREAD_CPUTIME_ID) scaled by
+//     NetworkModel::compute_scale,
+//   - explicit Comm::advance() charges,
+//   - message injection and test overheads, and
+//   - jumps to message-completion times while blocked in wait().
+//
+// Because every operation on shared messaging state executes while its
+// rank holds the global minimum clock, matching and all completion times
+// are deterministic (up to compute-time measurement, which tests avoid by
+// using Comm::advance()).
+//
+// Non-blocking semantics mirror MPI-3: isend/irecv/ialltoall(v) return a
+// Request; test() is *manual progression* — a non-blocking collective's
+// internal schedule only advances during the owner's test()/wait() calls,
+// exactly the behaviour the paper's F* parameters are tuned around
+// (§3.3).  wait() self-progresses eagerly, like a blocking MPI call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace offt::sim {
+
+namespace detail {
+struct ClusterImpl;
+struct RankCtx;
+struct RequestState;
+}  // namespace detail
+
+// Thrown by Cluster::run when every unfinished rank is blocked on a
+// message that can never complete.  what() lists each rank's state.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Handle to an in-flight non-blocking operation.  Default-constructed
+// requests are "null" and complete trivially.  Handles are move-only.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return state_ != nullptr; }
+  bool done() const;
+
+ private:
+  friend class Comm;
+  explicit Request(std::shared_ptr<detail::RequestState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+// Per-rank communication endpoint, passed to the rank function.  All
+// methods must be called from the owning rank's thread.
+class Comm {
+ public:
+  int rank() const;
+  int size() const;
+  const NetworkModel& network() const;
+
+  // Current virtual time of this rank (includes the compute measured
+  // since the last simulator call).
+  Seconds now() const;
+
+  // Charges `dt` virtual seconds of synthetic compute to this rank.
+  // Tests and models use this instead of real work for determinism.
+  void advance(Seconds dt);
+
+  // --- point-to-point ------------------------------------------------
+  // Buffers must stay untouched until the request completes, as in MPI.
+  // Matching is exact on (source, destination, tag), FIFO per triple.
+  Request isend(const void* buf, std::size_t bytes, int dst, int tag);
+  Request irecv(void* buf, std::size_t bytes, int src, int tag);
+  void send(const void* buf, std::size_t bytes, int dst, int tag);
+  void recv(void* buf, std::size_t bytes, int src, int tag);
+
+  // --- completion ----------------------------------------------------
+  // Manual progression: harvests message completions with timestamps
+  // <= now and, for collectives, posts the next internal round.  Charges
+  // NetworkModel::test_overhead.  Returns true when the request is done.
+  bool test(Request& req);
+  // Blocks (in virtual time) until done, progressing eagerly.
+  void wait(Request& req);
+  void waitall(std::vector<Request>& reqs);
+
+  // --- collectives ----------------------------------------------------
+  // All ranks must call collectives in the same order.  ialltoall
+  // exchanges `block_bytes` bytes with every rank: block d of sendbuf
+  // goes to rank d; block s of recvbuf arrives from rank s.  The
+  // schedule is LibNBC-style: p-1 pairwise rounds, one in flight, each
+  // next round posted only from test()/wait().
+  Request ialltoall(const void* sendbuf, void* recvbuf,
+                    std::size_t block_bytes);
+  Request ialltoallv(const void* sendbuf, const std::size_t* send_bytes,
+                     const std::size_t* send_displs, void* recvbuf,
+                     const std::size_t* recv_bytes,
+                     const std::size_t* recv_displs);
+  void alltoall(const void* sendbuf, void* recvbuf, std::size_t block_bytes);
+
+  // Group (sub-communicator) variants: the exchange runs among `members`
+  // only (the caller must be one of them), with blocks indexed by member
+  // *position*, not global rank — the building block for 2-D (pencil)
+  // decompositions, where row and column groups exchange independently.
+  // Every member must call with the identical member list, and all ranks
+  // of the cluster must issue the same global sequence of collective
+  // calls (the usual MPI ordering rule, extended to groups).
+  Request ialltoallv_group(const std::vector<int>& members,
+                           const void* sendbuf,
+                           const std::size_t* send_bytes,
+                           const std::size_t* send_displs, void* recvbuf,
+                           const std::size_t* recv_bytes,
+                           const std::size_t* recv_displs);
+  void alltoall_group(const std::vector<int>& members, const void* sendbuf,
+                      void* recvbuf, std::size_t block_bytes);
+
+  void barrier();
+  void bcast(void* buf, std::size_t bytes, int root);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+  // --- instrumentation -------------------------------------------------
+  std::uint64_t test_calls() const;      // test() invocations so far
+  std::uint64_t messages_posted() const; // isend+irecv posts (incl. rounds)
+
+ private:
+  friend struct detail::ClusterImpl;
+  friend class Cluster;
+  Comm(detail::ClusterImpl* impl, detail::RankCtx* me)
+      : impl_(impl), me_(me) {}
+  detail::ClusterImpl* impl_;
+  detail::RankCtx* me_;
+};
+
+// Outcome of one Cluster::run.
+struct RunResult {
+  std::vector<Seconds> rank_times;  // final virtual clock per rank
+  Seconds makespan = 0.0;           // max over ranks
+};
+
+class Cluster {
+ public:
+  Cluster(int nranks, NetworkModel model);
+  explicit Cluster(const Platform& platform)
+      : Cluster(/*nranks=*/1, platform.net) {}
+  Cluster(int nranks, const Platform& platform)
+      : Cluster(nranks, platform.net) {}
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const;
+  const NetworkModel& network() const;
+
+  // Runs fn on every rank; virtual clocks start at zero each run.
+  // Rethrows the first rank exception; throws DeadlockError on deadlock.
+  RunResult run(const std::function<void(Comm&)>& fn);
+
+ private:
+  std::unique_ptr<detail::ClusterImpl> impl_;
+};
+
+}  // namespace offt::sim

@@ -1,0 +1,233 @@
+// Collective operations: non-blocking all-to-all(v) with the LibNBC-style
+// round schedule, plus the small blocking collectives (barrier, bcast,
+// allreduce) the harness needs.
+#include <algorithm>
+
+#include "sim/internal.hpp"
+#include "util/check.hpp"
+
+namespace offt::sim {
+
+using detail::AlltoallState;
+using detail::ClusterImpl;
+using detail::P2pState;
+using detail::RankCtx;
+using detail::RequestState;
+using detail::SimCall;
+
+namespace detail {
+
+void AlltoallState::post_round(ClusterImpl& impl, RankCtx& me, int round) {
+  const int m = static_cast<int>(members.size());
+  const std::size_t dst_pos = static_cast<std::size_t>((my_pos + round) % m);
+  const std::size_t src_pos =
+      static_cast<std::size_t>((my_pos - round + m) % m);
+  cur_send = impl.post_send(me, sendbuf + send_displs[dst_pos],
+                            send_bytes[dst_pos], members[dst_pos], tag);
+  cur_recv = impl.post_recv(me, recvbuf + recv_displs[src_pos],
+                            recv_bytes[src_pos], members[src_pos], tag);
+  posted_round = round;
+}
+
+void AlltoallState::start(ClusterImpl& impl, RankCtx& me) {
+  const auto self = static_cast<std::size_t>(my_pos);
+  // The block addressed to ourselves never touches the network.
+  if (send_bytes[self] > 0) {
+    OFFT_CHECK_MSG(send_bytes[self] == recv_bytes[self],
+                   "alltoall self block size mismatch");
+    std::memmove(recvbuf + recv_displs[self], sendbuf + send_displs[self],
+                 send_bytes[self]);
+  }
+  if (members.size() == 1) {
+    done = true;
+    return;
+  }
+  post_round(impl, me, 1);
+}
+
+bool AlltoallState::progress(ClusterImpl& impl, RankCtx& me) {
+  if (done) return true;
+  for (;;) {
+    if (!cur_send->complete_at(me.clock) || !cur_recv->complete_at(me.clock))
+      return false;
+    if (posted_round + 1 >= static_cast<int>(members.size())) {
+      done = true;
+      return true;
+    }
+    // Manual progression: the next pairwise round is posted *now*, at the
+    // moment of this test()/wait() call — a rank that polls rarely stalls
+    // its own (and its peers') schedule (§3.3 of the paper).
+    post_round(impl, me, posted_round + 1);
+  }
+}
+
+std::optional<Seconds> AlltoallState::next_event() const {
+  if (done) return std::nullopt;
+  if (!cur_send->paired || !cur_recv->paired) return std::nullopt;
+  return std::max(cur_send->completion, cur_recv->completion);
+}
+
+}  // namespace detail
+
+Request Comm::ialltoall(const void* sendbuf, void* recvbuf,
+                        std::size_t block_bytes) {
+  const int p = impl_->nranks;
+  std::vector<std::size_t> bytes(p, block_bytes);
+  std::vector<std::size_t> displs(p);
+  for (int r = 0; r < p; ++r) displs[r] = static_cast<std::size_t>(r) * block_bytes;
+  return ialltoallv(sendbuf, bytes.data(), displs.data(), recvbuf,
+                    bytes.data(), displs.data());
+}
+
+Request Comm::ialltoallv(const void* sendbuf, const std::size_t* send_bytes,
+                         const std::size_t* send_displs, void* recvbuf,
+                         const std::size_t* recv_bytes,
+                         const std::size_t* recv_displs) {
+  std::vector<int> everyone(static_cast<std::size_t>(impl_->nranks));
+  for (int r = 0; r < impl_->nranks; ++r)
+    everyone[static_cast<std::size_t>(r)] = r;
+  return ialltoallv_group(everyone, sendbuf, send_bytes, send_displs,
+                          recvbuf, recv_bytes, recv_displs);
+}
+
+Request Comm::ialltoallv_group(const std::vector<int>& members,
+                               const void* sendbuf,
+                               const std::size_t* send_bytes,
+                               const std::size_t* send_displs, void* recvbuf,
+                               const std::size_t* recv_bytes,
+                               const std::size_t* recv_displs) {
+  OFFT_CHECK_MSG(!members.empty(), "group collective needs members");
+  const std::size_t m = members.size();
+  auto st = std::make_shared<AlltoallState>();
+  st->owner = me_->rank;
+  st->members = members;
+  st->my_pos = -1;
+  for (std::size_t i = 0; i < m; ++i) {
+    OFFT_CHECK_MSG(members[i] >= 0 && members[i] < impl_->nranks,
+                   "group member out of range");
+    if (members[i] == me_->rank) st->my_pos = static_cast<int>(i);
+  }
+  OFFT_CHECK_MSG(st->my_pos >= 0,
+                 "calling rank is not a member of the collective group");
+  st->tag = detail::make_coll_tag(*me_);
+  st->sendbuf = static_cast<const std::byte*>(sendbuf);
+  st->recvbuf = static_cast<std::byte*>(recvbuf);
+  st->send_bytes.assign(send_bytes, send_bytes + m);
+  st->send_displs.assign(send_displs, send_displs + m);
+  st->recv_bytes.assign(recv_bytes, recv_bytes + m);
+  st->recv_displs.assign(recv_displs, recv_displs + m);
+
+  SimCall call(*impl_, *me_);
+  st->start(*impl_, *me_);
+  me_->live.push_back(st);
+  return Request(std::move(st));
+}
+
+void Comm::alltoall_group(const std::vector<int>& members,
+                          const void* sendbuf, void* recvbuf,
+                          std::size_t block_bytes) {
+  const std::size_t m = members.size();
+  std::vector<std::size_t> bytes(m, block_bytes), displs(m);
+  for (std::size_t i = 0; i < m; ++i) displs[i] = i * block_bytes;
+  Request req = ialltoallv_group(members, sendbuf, bytes.data(),
+                                 displs.data(), recvbuf, bytes.data(),
+                                 displs.data());
+  wait(req);
+}
+
+void Comm::alltoall(const void* sendbuf, void* recvbuf,
+                    std::size_t block_bytes) {
+  Request r = ialltoall(sendbuf, recvbuf, block_bytes);
+  wait(r);
+}
+
+void Comm::barrier() {
+  const int p = impl_->nranks;
+  if (p == 1) return;
+  const int tag = detail::make_coll_tag(*me_);
+  const int rank = me_->rank;
+  // Dissemination barrier: log2(p) rounds of zero-byte exchanges.
+  for (int k = 1; k < p; k <<= 1) {
+    SimCall call(*impl_, *me_);
+    auto s = std::make_shared<P2pState>();
+    s->msg = impl_->post_send(*me_, nullptr, 0, (rank + k) % p, tag);
+    auto r = std::make_shared<P2pState>();
+    r->msg = impl_->post_recv(*me_, nullptr, 0, (rank - k % p + p) % p, tag);
+    impl_->wait_on(*me_, {s.get(), r.get()}, call.lock());
+  }
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  const int p = impl_->nranks;
+  OFFT_CHECK_MSG(root >= 0 && root < p, "invalid bcast root");
+  if (p == 1) return;
+  const int tag = detail::make_coll_tag(*me_);
+  const int vrank = (me_->rank - root + p) % p;
+
+  // Binomial tree.
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % p;
+      SimCall call(*impl_, *me_);
+      auto r = std::make_shared<P2pState>();
+      r->msg = impl_->post_recv(*me_, buf, bytes, src, tag);
+      impl_->wait_on(*me_, {r.get()}, call.lock());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < p) {
+      const int dst = (vrank + mask + root) % p;
+      SimCall call(*impl_, *me_);
+      auto s = std::make_shared<P2pState>();
+      s->msg = impl_->post_send(*me_, buf, bytes, dst, tag);
+      impl_->wait_on(*me_, {s.get()}, call.lock());
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+
+template <typename Op>
+double allreduce_impl(detail::ClusterImpl* impl, detail::RankCtx* me,
+                      Comm& comm, double value, Op op) {
+  const int p = impl->nranks;
+  if (p > 1) {
+    const int tag = detail::make_coll_tag(*me);
+    if (me->rank == 0) {
+      for (int src = 1; src < p; ++src) {
+        double incoming = 0.0;
+        SimCall call(*impl, *me);
+        auto r = std::make_shared<P2pState>();
+        r->msg = impl->post_recv(*me, &incoming, sizeof(double), src, tag);
+        impl->wait_on(*me, {r.get()}, call.lock());
+        value = op(value, incoming);
+      }
+    } else {
+      SimCall call(*impl, *me);
+      auto s = std::make_shared<P2pState>();
+      s->msg = impl->post_send(*me, &value, sizeof(double), 0, tag);
+      impl->wait_on(*me, {s.get()}, call.lock());
+    }
+    comm.bcast(&value, sizeof(double), 0);
+  }
+  return value;
+}
+
+}  // namespace
+
+double Comm::allreduce_sum(double value) {
+  return allreduce_impl(impl_, me_, *this, value,
+                        [](double a, double b) { return a + b; });
+}
+
+double Comm::allreduce_max(double value) {
+  return allreduce_impl(impl_, me_, *this, value,
+                        [](double a, double b) { return std::max(a, b); });
+}
+
+}  // namespace offt::sim

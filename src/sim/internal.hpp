@@ -1,0 +1,208 @@
+// Implementation details of the virtual-time cluster (see cluster.hpp for
+// the execution model).  Shared between cluster.cpp and collectives.cpp;
+// not part of the public API.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace offt::sim::detail {
+
+// Internal signal used to unwind worker threads when the run aborts
+// (deadlock or a rank exception).  Deliberately not derived from
+// std::exception so user-level catch(const std::exception&) blocks do not
+// swallow it.
+struct AbortSignal {};
+
+// One directed transfer.  Created when the first half (send or recv)
+// posts; "paired" once both halves have posted, at which point the
+// completion time is fixed and the payload is copied (rendezvous model —
+// MPI forbids touching either buffer before completion anyway).
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::size_t bytes = 0;
+  const void* src_buf = nullptr;
+  void* dst_buf = nullptr;
+  Seconds send_post = 0;
+  Seconds recv_post = 0;
+  bool send_posted = false;
+  bool recv_posted = false;
+  bool paired = false;
+  Seconds completion = 0;
+
+  bool complete_at(Seconds t) const { return paired && completion <= t; }
+};
+
+using MessagePtr = std::shared_ptr<Message>;
+
+struct RankCtx;
+struct ClusterImpl;
+
+// Base of every non-blocking operation.  progress() harvests completions
+// with timestamp <= the owner's clock and may post follow-up messages
+// (charging injection overhead to the owner); it is only ever called from
+// the owning rank while that rank holds the global-minimum virtual clock.
+struct RequestState {
+  virtual ~RequestState() = default;
+
+  bool done = false;
+
+  virtual bool progress(ClusterImpl& impl, RankCtx& me) = 0;
+
+  // Earliest virtual time at which progress() could advance further, or
+  // nullopt if that time is not yet determined (waiting on a peer post).
+  virtual std::optional<Seconds> next_event() const = 0;
+};
+
+struct P2pState final : RequestState {
+  MessagePtr msg;
+  bool recv_side = false;
+
+  bool progress(ClusterImpl&, RankCtx& me) override;
+  std::optional<Seconds> next_event() const override;
+};
+
+// LibNBC-style non-blocking all-to-all: m-1 pairwise rounds over the
+// participating `members` (round r sends to the member r positions ahead,
+// receives from r positions behind), exactly one round in flight, the
+// next round posted only from the owner's test()/wait().  The global
+// collective is the special case members == {0, ..., p-1}; group
+// collectives (2-D decompositions) pass a subset.  Block arrays are
+// indexed by member position.
+struct AlltoallState final : RequestState {
+  int owner = -1;
+  std::vector<int> members;
+  int my_pos = -1;  // owner's index within members
+  int tag = 0;
+  const std::byte* sendbuf = nullptr;
+  std::byte* recvbuf = nullptr;
+  std::vector<std::size_t> send_bytes, send_displs;
+  std::vector<std::size_t> recv_bytes, recv_displs;
+
+  int posted_round = 0;  // 0 = nothing in flight yet
+  MessagePtr cur_send, cur_recv;
+
+  void start(ClusterImpl& impl, RankCtx& me);
+  bool progress(ClusterImpl& impl, RankCtx& me) override;
+  std::optional<Seconds> next_event() const override;
+
+ private:
+  void post_round(ClusterImpl& impl, RankCtx& me, int round);
+};
+
+struct RankCtx {
+  enum class St { Ready, Active, WaitTime, WaitMatch, Finished };
+
+  // Live non-blocking operations owned by this rank.  Like a real MPI
+  // progress engine, every test()/wait() advances ALL of them, not just
+  // the handle passed (LibNBC rounds of sibling collectives move forward
+  // during any poll).  Entries are pruned once done or abandoned.
+  std::vector<std::weak_ptr<RequestState>> live;
+
+  int rank = -1;
+  Seconds clock = 0;
+  St st = St::Ready;
+  Seconds wake = 0;                          // valid when WaitTime
+  std::vector<RequestState*> wait_set;       // valid when WaitMatch
+  std::condition_variable cv;
+  std::thread thread;
+
+  Seconds seg_start = 0;  // thread CPU time when compute resumed
+  std::uint64_t test_count = 0;
+  std::uint64_t post_count = 0;
+  std::uint64_t coll_seq = 0;  // collective instance counter (tag space)
+
+  Seconds effective_clock() const {
+    return st == St::WaitTime ? (clock > wake ? clock : wake) : clock;
+  }
+};
+
+struct MsgKey {
+  int src, dst, tag;
+  auto operator<=>(const MsgKey&) const = default;
+};
+
+struct ClusterImpl {
+  NetworkModel net;
+  int nranks = 0;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<std::unique_ptr<RankCtx>> ranks;
+  std::map<MsgKey, std::deque<MessagePtr>> pending_send, pending_recv;
+  std::vector<Seconds> port_free;
+  int unfinished = 0;
+  bool aborted = false;
+  std::exception_ptr error;
+
+  // --- scheduler (all called with mu held) ---------------------------
+  // Resumes the runnable rank with the smallest effective clock; detects
+  // deadlock when nothing is runnable but ranks remain.
+  void schedule_next();
+  // Called by the active rank on entering a simulator call: lets every
+  // runnable rank with a smaller clock run first.
+  void yield_to_min(RankCtx& me, std::unique_lock<std::mutex>& lock);
+  void suspend_until(RankCtx& me, Seconds wake,
+                     std::unique_lock<std::mutex>& lock);
+  void suspend_match(RankCtx& me, std::vector<RequestState*> wait_set,
+                     std::unique_lock<std::mutex>& lock);
+  // After a pairing: blocked ranks whose wait set now has a known event
+  // become time-waiters.
+  void reeval_waitmatch();
+  void abort_run(std::exception_ptr err);
+
+  // --- messaging (mu held, caller is the active, minimum-clock rank) --
+  MessagePtr post_send(RankCtx& me, const void* buf, std::size_t bytes,
+                       int dst, int tag);
+  MessagePtr post_recv(RankCtx& me, void* buf, std::size_t bytes, int src,
+                       int tag);
+  void pair(Message& m);
+
+  // Advances every live request of `me` (the global progress engine).
+  void progress_all(RankCtx& me);
+
+  // Shared body of wait()/waitall(): blocks until every target is done,
+  // progressing the whole engine at each step like a blocking MPI call.
+  void wait_on(RankCtx& me, std::vector<RequestState*> targets,
+               std::unique_lock<std::mutex>& lock);
+};
+
+// RAII bracket around every simulator call: charges the compute measured
+// since the last call to the rank's virtual clock, then enforces the
+// minimum-clock execution order.
+class SimCall {
+ public:
+  SimCall(ClusterImpl& impl, RankCtx& me);
+  ~SimCall();
+
+  std::unique_lock<std::mutex>& lock() { return lock_; }
+
+  SimCall(const SimCall&) = delete;
+  SimCall& operator=(const SimCall&) = delete;
+
+ private:
+  RankCtx& me_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Tag space: user point-to-point tags live below kCollTagBase; collective
+// instances allocate tags above it from the per-rank sequence counter
+// (all ranks call collectives in the same order, so counters agree).
+inline constexpr int kCollTagBase = 1 << 30;
+
+inline int make_coll_tag(RankCtx& me) {
+  return kCollTagBase + static_cast<int>(me.coll_seq++ & 0x3fffffff);
+}
+
+}  // namespace offt::sim::detail

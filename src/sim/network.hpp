@@ -1,0 +1,84 @@
+// Network performance model for the virtual-time cluster.
+//
+// Message timing follows a LogGP-flavoured alpha-beta model with
+// rendezvous semantics and sender-port serialization:
+//
+//   start      = max(send_post, recv_post, sender_port_free)
+//   wire       = bytes * gamma(p) / beta_link
+//   port_free' = start + wire
+//   completion = start + alpha_link + wire
+//
+// where the link is the intra-node one if both ranks live on the same
+// node (`ranks_per_node`), and gamma(p) = 1 + congestion * log2(p) models
+// the extra contention of dense all-to-all traffic on larger clusters.
+// Posting a message charges `injection_overhead` to the posting rank and
+// every test() charges `test_overhead` — the cost the paper's F*
+// parameters trade against communication stalls (§3.3).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace offt::sim {
+
+using util::Seconds;
+
+struct LinkParams {
+  Seconds alpha = 1e-6;   // per-message latency (seconds)
+  double beta = 1e9;      // bandwidth (bytes/second)
+};
+
+struct NetworkModel {
+  LinkParams inter{10e-6, 250e6};
+  LinkParams intra{1e-6, 4e9};
+  int ranks_per_node = 1;        // ranks sharing the intra-node link
+  Seconds injection_overhead = 1e-6;  // charged per isend/irecv post
+  Seconds test_overhead = 0.5e-6;     // charged per test() call
+  double congestion = 0.0;            // gamma(p) = 1 + congestion*log2(p)
+  double compute_scale = 1.0;  // virtual seconds charged per measured second
+
+  bool same_node(int a, int b) const {
+    return ranks_per_node > 1 && a / ranks_per_node == b / ranks_per_node;
+  }
+
+  const LinkParams& link(int a, int b) const {
+    return same_node(a, b) ? intra : inter;
+  }
+
+  double gamma(int nranks) const {
+    return nranks > 1
+               ? 1.0 + congestion * std::log2(static_cast<double>(nranks))
+               : 1.0;
+  }
+
+  Seconds wire_time(std::size_t bytes, int a, int b, int nranks) const {
+    return static_cast<double>(bytes) * gamma(nranks) / link(a, b).beta;
+  }
+};
+
+// A named machine: the network model calibrated to mimic one of the
+// paper's two testbeds (§5.1), plus an ideal network for correctness
+// tests.  The absolute constants are chosen so that, with this library's
+// single-core compute speed, the compute:communication balance at the
+// benchmark sizes lands in the same regime the paper reports
+// (UMD-Cluster communication-heavy, Hopper communication-light); see
+// EXPERIMENTS.md.
+struct Platform {
+  std::string name;
+  NetworkModel net;
+
+  // 64-node Linux cluster, one core per node, Myrinet 2000.
+  static Platform umd_cluster();
+  // Cray XE6, Gemini 3-D torus, 8 ranks per node.
+  static Platform hopper();
+  // Zero-cost network: messages complete as soon as both sides post.
+  static Platform ideal();
+
+  // Lookup by name ("umd", "umd-cluster", "hopper", "ideal").
+  static Platform by_name(const std::string& name);
+};
+
+}  // namespace offt::sim

@@ -1,0 +1,189 @@
+#include "tune/nelder_mead.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace offt::tune {
+
+namespace {
+
+// The history cache and the simplex bookkeeping live per run().
+struct EvalCache {
+  std::map<Config, double> values;
+};
+
+}  // namespace
+
+NelderMead::NelderMead(const SearchSpace& space, Objective objective,
+                       Constraint constraint, NelderMeadOptions options)
+    : space_(space),
+      objective_(std::move(objective)),
+      constraint_(std::move(constraint)),
+      options_(options) {
+  OFFT_CHECK_MSG(space_.dims() >= 1, "empty search space");
+  // Default initial simplex: the centre of the index space plus one step
+  // along each axis.
+  const std::size_t d = space_.dims();
+  std::vector<double> centre(d);
+  for (std::size_t i = 0; i < d; ++i)
+    centre[i] = static_cast<double>(space_.param(i).values.size() - 1) / 2.0;
+  simplex_.assign(d + 1, centre);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double span = static_cast<double>(space_.param(i).values.size() - 1);
+    simplex_[i + 1][i] += std::max(1.0, span / 4.0);
+  }
+}
+
+void NelderMead::set_initial_simplex(const std::vector<Config>& vertices) {
+  OFFT_CHECK_MSG(vertices.size() == space_.dims() + 1,
+                 "initial simplex needs dims()+1 vertices");
+  simplex_.clear();
+  for (const Config& v : vertices) simplex_.push_back(space_.to_point(v));
+}
+
+SearchResult NelderMead::run() {
+  const std::size_t d = space_.dims();
+  SearchResult result;
+  EvalCache cache;
+
+  auto eval = [&](const std::vector<double>& pt) -> double {
+    const Config config = space_.snap(pt);
+    if (const auto it = cache.values.find(config); it != cache.values.end()) {
+      ++result.cache_hits;
+      return it->second;
+    }
+    double value;
+    if (constraint_ && !constraint_(config)) {
+      // Penalty technique: never run an infeasible configuration.
+      value = kInfeasible;
+      ++result.penalized;
+    } else {
+      if (result.evaluations >= options_.max_evaluations) return kInfeasible;
+      value = objective_(config);
+      ++result.evaluations;
+    }
+    cache.values.emplace(config, value);
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best = config;
+    }
+    result.trace.push_back(result.best_value);
+    return value;
+  };
+
+  std::vector<double> fvals(d + 1);
+  for (std::size_t i = 0; i <= d; ++i) fvals[i] = eval(simplex_[i]);
+
+  // If every initial vertex is infeasible the simplex has no gradient to
+  // follow (all values are +inf).  Mirror Active Harmony's behaviour of
+  // suggesting fresh configurations: probe random points until one is
+  // feasible, then re-anchor the simplex there.
+  if (result.best_value == kInfeasible) {
+    util::Rng rng(0x5eed);
+    for (int attempt = 0;
+         attempt < 64 && result.best_value == kInfeasible &&
+         result.evaluations < options_.max_evaluations;
+         ++attempt) {
+      eval(space_.to_point(space_.random_config(rng)));
+    }
+    if (result.best_value < kInfeasible) {
+      const std::vector<double> anchor = space_.to_point(result.best);
+      simplex_.assign(d + 1, anchor);
+      for (std::size_t i = 0; i < d; ++i) {
+        const double hi =
+            static_cast<double>(space_.param(i).values.size() - 1);
+        simplex_[i + 1][i] += (anchor[i] + 1.0 <= hi) ? 1.0 : -1.0;
+      }
+      for (std::size_t i = 0; i <= d; ++i) fvals[i] = eval(simplex_[i]);
+    }
+  }
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(d + 1);
+    for (std::size_t i = 0; i <= d; ++i) idx[i] = i;
+    std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return fvals[a] < fvals[b];
+    });
+    std::vector<std::vector<double>> s2(d + 1);
+    std::vector<double> f2(d + 1);
+    for (std::size_t i = 0; i <= d; ++i) {
+      s2[i] = simplex_[idx[i]];
+      f2[i] = fvals[idx[i]];
+    }
+    simplex_.swap(s2);
+    fvals.swap(f2);
+  };
+
+  for (int iter = 0; iter < options_.max_iterations &&
+                     result.evaluations < options_.max_evaluations;
+       ++iter) {
+    order();
+
+    // Converged once every vertex snaps to the same configuration.
+    bool collapsed = true;
+    const Config first = space_.snap(simplex_[0]);
+    for (std::size_t i = 1; i <= d && collapsed; ++i)
+      collapsed = (space_.snap(simplex_[i]) == first);
+    if (collapsed) break;
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(d, 0.0);
+    for (std::size_t i = 0; i < d; ++i)
+      for (std::size_t j = 0; j < d; ++j) centroid[j] += simplex_[i][j];
+    for (double& c : centroid) c /= static_cast<double>(d);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> p(d);
+      for (std::size_t j = 0; j < d; ++j)
+        p[j] = centroid[j] + coeff * (simplex_[d][j] - centroid[j]);
+      return p;
+    };
+
+    const std::vector<double> reflected = blend(-options_.reflection);
+    const double fr = eval(reflected);
+
+    if (fr < fvals[0]) {
+      const std::vector<double> expanded =
+          blend(-options_.reflection * options_.expansion);
+      const double fe = eval(expanded);
+      if (fe < fr) {
+        simplex_[d] = expanded;
+        fvals[d] = fe;
+      } else {
+        simplex_[d] = reflected;
+        fvals[d] = fr;
+      }
+    } else if (fr < fvals[d - 1]) {
+      simplex_[d] = reflected;
+      fvals[d] = fr;
+    } else {
+      // Contract toward the better of (worst, reflected).
+      const bool outside = fr < fvals[d];
+      const std::vector<double> contracted =
+          outside ? blend(-options_.reflection * options_.contraction)
+                  : blend(options_.contraction);
+      const double fc = eval(contracted);
+      if (fc < std::min(fr, fvals[d])) {
+        simplex_[d] = contracted;
+        fvals[d] = fc;
+      } else {
+        // Shrink everything toward the best vertex.
+        for (std::size_t i = 1; i <= d; ++i) {
+          for (std::size_t j = 0; j < d; ++j)
+            simplex_[i][j] = simplex_[0][j] +
+                             options_.shrink * (simplex_[i][j] - simplex_[0][j]);
+          fvals[i] = eval(simplex_[i]);
+        }
+      }
+    }
+  }
+
+  order();
+  if (result.best.empty() && !simplex_.empty())
+    result.best = space_.snap(simplex_[0]);
+  return result;
+}
+
+}  // namespace offt::tune

@@ -1,0 +1,53 @@
+// Discrete Nelder-Mead simplex search, following the paper's use of
+// Active Harmony (§4.3-4.4):
+//   * the simplex lives in continuous index coordinates of the reduced
+//     space; every evaluation snaps to the nearest candidate configuration
+//     (AH's integer-domain handling),
+//   * infeasible configurations are reported as +infinity immediately,
+//     without executing the tuning target (the penalty technique),
+//   * previously tested configurations are served from a history cache
+//     (the reuse technique),
+//   * the caller supplies the initial simplex (the paper constructs it
+//     from a heuristic default point; see core/fft_tuner.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "tune/search_space.hpp"
+
+namespace offt::tune {
+
+struct NelderMeadOptions {
+  int max_evaluations = 120;   // objective executions, not counting cache
+                               // hits or penalized points
+  int max_iterations = 400;    // NM steps, a backstop for penalty plateaus
+  // Standard NM coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+class NelderMead {
+ public:
+  NelderMead(const SearchSpace& space, Objective objective,
+             Constraint constraint = nullptr,
+             NelderMeadOptions options = {});
+
+  // Overrides the default (centre-of-space) initial simplex; needs
+  // exactly dims()+1 points in value coordinates.
+  void set_initial_simplex(const std::vector<Config>& vertices);
+
+  SearchResult run();
+
+ private:
+  double evaluate(const std::vector<double>& point, SearchResult& result);
+
+  const SearchSpace& space_;
+  Objective objective_;
+  Constraint constraint_;
+  NelderMeadOptions options_;
+  std::vector<std::vector<double>> simplex_;
+};
+
+}  // namespace offt::tune

@@ -1,0 +1,57 @@
+#include "tune/random_search.hpp"
+
+#include <map>
+
+namespace offt::tune {
+
+SearchResult random_search(const SearchSpace& space, const Objective& objective,
+                           const Constraint& constraint, int samples,
+                           std::uint64_t seed) {
+  SearchResult result;
+  util::Rng rng(seed);
+  std::map<Config, double> cache;
+  for (int s = 0; s < samples; ++s) {
+    const Config config = space.random_config(rng);
+    double value;
+    if (const auto it = cache.find(config); it != cache.end()) {
+      ++result.cache_hits;
+      value = it->second;
+    } else if (constraint && !constraint(config)) {
+      ++result.penalized;
+      value = kInfeasible;
+      cache.emplace(config, value);
+    } else {
+      value = objective(config);
+      ++result.evaluations;
+      cache.emplace(config, value);
+    }
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best = config;
+    }
+    result.trace.push_back(result.best_value);
+  }
+  return result;
+}
+
+SearchResult exhaustive_search(const SearchSpace& space,
+                               const Objective& objective,
+                               const Constraint& constraint) {
+  SearchResult result;
+  for (const Config& config : space.enumerate()) {
+    if (constraint && !constraint(config)) {
+      ++result.penalized;
+      continue;
+    }
+    const double value = objective(config);
+    ++result.evaluations;
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best = config;
+    }
+    result.trace.push_back(result.best_value);
+  }
+  return result;
+}
+
+}  // namespace offt::tune

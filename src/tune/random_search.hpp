@@ -1,0 +1,23 @@
+// Baseline search strategies: uniform random sampling (the comparison
+// point of §5.3.1) and exhaustive enumeration (for tiny spaces / tests).
+#pragma once
+
+#include <cstdint>
+
+#include "tune/search_space.hpp"
+
+namespace offt::tune {
+
+// Samples `samples` configurations uniformly at random (with the same
+// penalty and history-cache semantics as NelderMead: infeasible points
+// cost nothing, repeats are served from cache).
+SearchResult random_search(const SearchSpace& space, const Objective& objective,
+                           const Constraint& constraint, int samples,
+                           std::uint64_t seed);
+
+// Evaluates every configuration (feasible ones only).
+SearchResult exhaustive_search(const SearchSpace& space,
+                               const Objective& objective,
+                               const Constraint& constraint);
+
+}  // namespace offt::tune

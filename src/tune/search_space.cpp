@@ -1,0 +1,116 @@
+#include "tune/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace offt::tune {
+
+std::vector<long long> log_scale_values(long long lo, long long hi) {
+  OFFT_CHECK_MSG(lo >= 1 && hi >= lo, "invalid log-scale range");
+  std::vector<long long> v;
+  v.push_back(lo);
+  for (long long p = 1; p <= hi; p *= 2) {
+    if (p > lo && p < hi) v.push_back(p);
+    if (p > hi / 2) break;  // avoid overflow
+  }
+  if (hi != lo) v.push_back(hi);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+void SearchSpace::add(std::string name, std::vector<long long> values) {
+  OFFT_CHECK_MSG(!values.empty(), "parameter needs at least one candidate");
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  params_.push_back({std::move(name), std::move(values)});
+}
+
+void SearchSpace::add_log_scale(std::string name, long long lo, long long hi) {
+  add(std::move(name), log_scale_values(lo, hi));
+}
+
+std::size_t SearchSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (params_[i].name == name) return i;
+  OFFT_CHECK_MSG(false, "unknown parameter '" << name << "'");
+  return 0;
+}
+
+double SearchSpace::total_configs() const {
+  double total = 1.0;
+  for (const auto& p : params_) total *= static_cast<double>(p.values.size());
+  return total;
+}
+
+Config SearchSpace::snap(const std::vector<double>& point) const {
+  OFFT_CHECK(point.size() == params_.size());
+  Config c(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& vals = params_[i].values;
+    const double clamped = std::clamp(
+        point[i], 0.0, static_cast<double>(vals.size() - 1));
+    c[i] = vals[static_cast<std::size_t>(std::llround(clamped))];
+  }
+  return c;
+}
+
+double SearchSpace::nearest_index(std::size_t i, long long value) const {
+  const auto& vals = params_[i].values;
+  std::size_t best = 0;
+  long long best_dist = std::numeric_limits<long long>::max();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    const long long d = std::llabs(vals[k] - value);
+    if (d < best_dist) {
+      best_dist = d;
+      best = k;
+    }
+  }
+  return static_cast<double>(best);
+}
+
+std::vector<double> SearchSpace::to_point(const Config& config) const {
+  OFFT_CHECK(config.size() == params_.size());
+  std::vector<double> pt(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    pt[i] = nearest_index(i, config[i]);
+  return pt;
+}
+
+Config SearchSpace::random_config(util::Rng& rng) const {
+  Config c(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& vals = params_[i].values;
+    c[i] = vals[rng.next_below(vals.size())];
+  }
+  return c;
+}
+
+std::vector<Config> SearchSpace::enumerate(std::size_t limit) const {
+  OFFT_CHECK_MSG(total_configs() <= static_cast<double>(limit),
+                 "space too large to enumerate");
+  std::vector<Config> out;
+  if (params_.empty()) {
+    out.push_back({});
+    return out;
+  }
+  Config cur(params_.size());
+  std::vector<std::size_t> idx(params_.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < params_.size(); ++i)
+      cur[i] = params_[i].values[idx[i]];
+    out.push_back(cur);
+    // Odometer increment, last dimension fastest.
+    std::size_t d = params_.size();
+    while (d > 0) {
+      --d;
+      if (++idx[d] < params_[d].values.size()) break;
+      idx[d] = 0;
+      if (d == 0) return out;
+    }
+  }
+}
+
+}  // namespace offt::tune

@@ -1,0 +1,87 @@
+// Discrete parameter spaces for auto-tuning.
+//
+// Mirrors the paper's search-space reduction technique (§4.4): instead of
+// every integer in [min, max], each parameter's candidate list holds the
+// powers of two inside the range plus the exact bounds, shrinking a
+// billions-sized space to something a simplex search can traverse.
+// Feasibility constraints that couple parameters (e.g. Pz <= T) are
+// expressed as a predicate over whole configurations and handled by the
+// searcher's penalty mechanism, not by the space itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace offt::tune {
+
+// One concrete parameter assignment, value per dimension in space order.
+using Config = std::vector<long long>;
+
+// Measured performance of a configuration; smaller is better.  Infeasible
+// configurations are reported as +infinity without running the target.
+using Objective = std::function<double(const Config&)>;
+using Constraint = std::function<bool(const Config&)>;
+
+inline constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+// Powers of two within [lo, hi], always including lo and hi themselves.
+std::vector<long long> log_scale_values(long long lo, long long hi);
+
+struct ParamDef {
+  std::string name;
+  std::vector<long long> values;  // sorted, unique candidates
+};
+
+class SearchSpace {
+ public:
+  // Adds a parameter with an explicit candidate list (sorted, deduped).
+  void add(std::string name, std::vector<long long> values);
+  // Adds a parameter with the paper's log-scale reduction of [lo, hi].
+  void add_log_scale(std::string name, long long lo, long long hi);
+
+  std::size_t dims() const { return params_.size(); }
+  const ParamDef& param(std::size_t i) const { return params_[i]; }
+  // Index of `name`; throws if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  // Number of configurations in the reduced space.
+  double total_configs() const;
+
+  // Maps a continuous point in index coordinates (dimension i ranges over
+  // [0, |values_i|-1]) to the nearest concrete configuration.
+  Config snap(const std::vector<double>& point) const;
+
+  // Index coordinates of the candidate closest to `value` in dim `i`.
+  double nearest_index(std::size_t i, long long value) const;
+
+  // Continuous index-space point for a concrete configuration.
+  std::vector<double> to_point(const Config& config) const;
+
+  Config random_config(util::Rng& rng) const;
+
+  // All configurations, in lexicographic candidate order (use only for
+  // small spaces; throws if total_configs() exceeds `limit`).
+  std::vector<Config> enumerate(std::size_t limit = 1u << 20) const;
+
+ private:
+  std::vector<ParamDef> params_;
+};
+
+// Outcome of one search run.
+struct SearchResult {
+  Config best;
+  double best_value = kInfeasible;
+  int evaluations = 0;    // objective executions (cache misses, feasible)
+  int cache_hits = 0;     // configurations served from history
+  int penalized = 0;      // infeasible configurations rejected for free
+  // best_value after each *distinct tested* configuration, in test order —
+  // feeds the paper's NM-vs-random comparison (§5.3.1).
+  std::vector<double> trace;
+};
+
+}  // namespace offt::tune

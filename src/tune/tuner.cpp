@@ -1,0 +1,49 @@
+#include "tune/tuner.hpp"
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace offt::tune {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::NelderMeadSearch: return "nelder-mead";
+    case Strategy::RandomSearch: return "random";
+    case Strategy::ExhaustiveSearch: return "exhaustive";
+  }
+  return "?";
+}
+
+Strategy strategy_by_name(const std::string& name) {
+  if (name == "nelder-mead" || name == "nm") return Strategy::NelderMeadSearch;
+  if (name == "random") return Strategy::RandomSearch;
+  if (name == "exhaustive") return Strategy::ExhaustiveSearch;
+  OFFT_CHECK_MSG(false, "unknown strategy '" << name << "'");
+  return Strategy::NelderMeadSearch;
+}
+
+TuneOutcome tune(const SearchSpace& space, const Objective& objective,
+                 const Constraint& constraint, const TuneOptions& options) {
+  TuneOutcome outcome;
+  const double t0 = util::wall_now();
+  switch (options.strategy) {
+    case Strategy::NelderMeadSearch: {
+      NelderMead nm(space, objective, constraint, options.nm);
+      if (!options.initial_simplex.empty())
+        nm.set_initial_simplex(options.initial_simplex);
+      outcome.search = nm.run();
+      break;
+    }
+    case Strategy::RandomSearch:
+      outcome.search = random_search(space, objective, constraint,
+                                     options.random_samples, options.seed);
+      break;
+    case Strategy::ExhaustiveSearch:
+      outcome.search = exhaustive_search(space, objective, constraint);
+      break;
+  }
+  outcome.wall_seconds = util::wall_now() - t0;
+  return outcome;
+}
+
+}  // namespace offt::tune

@@ -1,0 +1,38 @@
+// High-level tuning driver — the in-process equivalent of the Active
+// Harmony server/client loop in the paper's Fig. 6.  The "server" is a
+// search strategy proposing configurations; the "client" runs the tuning
+// target and reports performance; this driver wires the two together and
+// records how long tuning itself took (Table 4).
+#pragma once
+
+#include <string>
+
+#include "tune/nelder_mead.hpp"
+#include "tune/random_search.hpp"
+
+namespace offt::tune {
+
+enum class Strategy { NelderMeadSearch, RandomSearch, ExhaustiveSearch };
+
+const char* to_string(Strategy s);
+Strategy strategy_by_name(const std::string& name);
+
+struct TuneOptions {
+  Strategy strategy = Strategy::NelderMeadSearch;
+  NelderMeadOptions nm;            // used by NelderMeadSearch
+  int random_samples = 200;        // used by RandomSearch
+  std::uint64_t seed = 1;          // used by RandomSearch
+  // Optional initial simplex for NelderMeadSearch (value coordinates);
+  // empty = default centre simplex.
+  std::vector<Config> initial_simplex;
+};
+
+struct TuneOutcome {
+  SearchResult search;
+  double wall_seconds = 0.0;  // real time spent in the whole tuning loop
+};
+
+TuneOutcome tune(const SearchSpace& space, const Objective& objective,
+                 const Constraint& constraint, const TuneOptions& options);
+
+}  // namespace offt::tune

@@ -1,0 +1,51 @@
+// Cache-line / SIMD aligned storage for FFT working arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace offt::util {
+
+inline constexpr std::size_t kDefaultAlignment = 64;
+
+// Minimal allocator that over-aligns allocations to `Align` bytes.
+// Used with std::vector to keep FFT pencils on cache-line boundaries.
+template <typename T, std::size_t Align = kDefaultAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // std::allocator_traits cannot rebind through a non-type template
+  // parameter on its own, so spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace offt::util

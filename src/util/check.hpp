@@ -1,0 +1,46 @@
+// Lightweight runtime assertion macros used across the library.
+//
+// OFFT_CHECK is always active (release builds included): it guards
+// user-facing API contracts.  OFFT_DCHECK compiles away in release builds
+// and guards internal invariants on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace offt::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace offt::util
+
+#define OFFT_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::offt::util::check_failed(__FILE__, __LINE__, #expr, {});         \
+  } while (0)
+
+#define OFFT_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::offt::util::check_failed(__FILE__, __LINE__, #expr, os_.str());  \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define OFFT_DCHECK(expr) ((void)0)
+#else
+#define OFFT_DCHECK(expr) OFFT_CHECK(expr)
+#endif

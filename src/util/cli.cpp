@@ -1,0 +1,65 @@
+#include "util/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace offt::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // "--name value".  A bare "--name" followed by another "--..." flag
+      // (or at the end of the line) is a boolean switch; mixed styles should
+      // prefer "--name=value".
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name, std::string def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() || it->second.empty() ? def : it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() || it->second.empty()
+             ? def
+             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() || it->second.empty()
+             ? def
+             : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<long long> Cli::get_int_list(const std::string& name,
+                                         std::vector<long long> def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  std::vector<long long> out;
+  std::stringstream ss(it->second);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+  }
+  return out.empty() ? def : out;
+}
+
+}  // namespace offt::util

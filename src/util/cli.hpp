@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+//   util::Cli cli(argc, argv);
+//   int p = cli.get_int("ranks", 8);
+//   bool quick = cli.has("quick");
+//
+// Accepted syntaxes: --name=value, --name value, --flag.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace offt::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, std::string def) const;
+  long long get_int(const std::string& name, long long def) const;
+  double get_double(const std::string& name, double def) const;
+
+  // Comma-separated integer list, e.g. --sizes=64,96,128.
+  std::vector<long long> get_int_list(const std::string& name,
+                                      std::vector<long long> def) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace offt::util

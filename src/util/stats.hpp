@@ -1,0 +1,27 @@
+// Summary statistics over timing samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace offt::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+// Computes the summary of `samples`.  Empty input yields a zero summary.
+Summary summarize(const std::vector<double>& samples);
+
+// Linear-interpolated percentile, q in [0, 100].  Empty input yields 0.
+double percentile(std::vector<double> samples, double q);
+
+// Fraction of `samples` that are <= x (empirical CDF evaluated at x).
+double cdf_at(const std::vector<double>& samples, double x);
+
+}  // namespace offt::util

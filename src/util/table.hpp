@@ -1,0 +1,36 @@
+// Plain-text table printer used by the benchmark harness to emit
+// paper-style tables (Table 2, Table 3, ...) on stdout, plus an optional
+// CSV mirror for post-processing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace offt::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  // Renders comma-separated values (header + rows).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Formats helpers for numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace offt::util

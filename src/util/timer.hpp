@@ -1,0 +1,61 @@
+// Wall-clock and per-thread CPU timers.
+//
+// The cluster simulator charges compute segments to virtual rank clocks
+// using ThreadCpuClock: on Linux this reads CLOCK_THREAD_CPUTIME_ID, which
+// keeps ticking only while the calling thread runs, so measurements are
+// immune to the thread being descheduled (essential when many simulated
+// ranks share one physical core).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#define OFFT_HAS_THREAD_CPUTIME 1
+#endif
+
+namespace offt::util {
+
+// Seconds as double — the time unit used throughout the library.
+using Seconds = double;
+
+inline Seconds wall_now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+inline Seconds thread_cpu_now() {
+#ifdef OFFT_HAS_THREAD_CPUTIME
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+#else
+  return wall_now();
+#endif
+}
+
+// Simple accumulating stopwatch over an arbitrary "now" function.
+class Stopwatch {
+ public:
+  using NowFn = Seconds (*)();
+
+  explicit Stopwatch(NowFn now = &wall_now) : now_(now) {}
+
+  void start() { start_ = now_(); running_ = true; }
+  void stop() {
+    if (running_) { total_ += now_() - start_; running_ = false; }
+  }
+  void reset() { total_ = 0.0; running_ = false; }
+  Seconds elapsed() const {
+    return running_ ? total_ + (now_() - start_) : total_;
+  }
+
+ private:
+  NowFn now_;
+  Seconds start_ = 0.0;
+  Seconds total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace offt::util

@@ -1,0 +1,84 @@
+#include "core/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/cluster.hpp"
+
+namespace offt::core {
+namespace {
+
+TEST(StepBreakdown, StartsEmpty) {
+  const StepBreakdown bd;
+  EXPECT_DOUBLE_EQ(bd.total(), 0.0);
+  EXPECT_DOUBLE_EQ(bd[Step::Wait], 0.0);
+}
+
+TEST(StepBreakdown, AddAccumulates) {
+  StepBreakdown bd;
+  bd.add(Step::FFTy, 1.0);
+  bd.add(Step::FFTy, 0.5);
+  bd.add(Step::Wait, 2.0);
+  EXPECT_DOUBLE_EQ(bd[Step::FFTy], 1.5);
+  EXPECT_DOUBLE_EQ(bd.total(), 3.5);
+}
+
+TEST(StepBreakdown, OverlappableCompute) {
+  StepBreakdown bd;
+  bd.add(Step::FFTz, 10.0);       // not overlappable
+  bd.add(Step::Transpose, 10.0);  // not overlappable
+  bd.add(Step::FFTy, 1.0);
+  bd.add(Step::Pack, 2.0);
+  bd.add(Step::Unpack, 3.0);
+  bd.add(Step::FFTx, 4.0);
+  bd.add(Step::Wait, 100.0);
+  EXPECT_DOUBLE_EQ(bd.overlappable_compute(), 10.0);
+}
+
+TEST(StepBreakdown, ArithmeticOperators) {
+  StepBreakdown a, b;
+  a.add(Step::Pack, 1.0);
+  b.add(Step::Pack, 2.0);
+  b.add(Step::Test, 4.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a[Step::Pack], 3.0);
+  EXPECT_DOUBLE_EQ(a[Step::Test], 4.0);
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a[Step::Pack], 1.5);
+}
+
+TEST(StepBreakdown, StepNamesMatchFigure8) {
+  EXPECT_STREQ(step_name(Step::FFTz), "FFTz");
+  EXPECT_STREQ(step_name(Step::Transpose), "Transpose");
+  EXPECT_STREQ(step_name(Step::Ialltoall), "Ialltoall");
+  EXPECT_STREQ(step_name(Step::Wait), "Wait");
+  EXPECT_STREQ(step_name(Step::Test), "Test");
+}
+
+TEST(StepBreakdown, AveragedAcrossRanks) {
+  sim::NetworkModel m;
+  m.compute_scale = 0.0;
+  sim::Cluster cluster(4, m);
+  cluster.run([&](sim::Comm& comm) {
+    StepBreakdown bd;
+    bd.add(Step::Wait, static_cast<double>(comm.rank()));  // 0,1,2,3
+    const StepBreakdown avg = bd.averaged(comm);
+    EXPECT_DOUBLE_EQ(avg[Step::Wait], 1.5);
+    EXPECT_DOUBLE_EQ(avg[Step::FFTz], 0.0);
+  });
+}
+
+TEST(StepBreakdown, PrintShowsEveryStep) {
+  StepBreakdown bd;
+  bd.add(Step::FFTx, 0.25);
+  std::ostringstream os;
+  bd.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("FFTx"), std::string::npos);
+  EXPECT_NE(s.find("0.250000"), std::string::npos);
+  EXPECT_NE(s.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace offt::core

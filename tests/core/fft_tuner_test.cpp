@@ -1,0 +1,120 @@
+#include "core/fft_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace offt::core {
+namespace {
+
+const Dims kDims{16, 16, 16};
+constexpr int kRanks = 4;
+
+TEST(FftTuneSpace, NewHasTenDimensionsThHasThree) {
+  EXPECT_EQ(make_tune_space(kDims, kRanks, Method::New).space.dims(), 10u);
+  EXPECT_EQ(make_tune_space(kDims, kRanks, Method::Th).space.dims(), 3u);
+}
+
+TEST(FftTuneSpace, TileCandidatesAreLogScaled) {
+  const FftTuneSpace ts = make_tune_space({256, 256, 24}, kRanks, Method::New);
+  // §4.4's worked example: Nz = 24 -> T in {1, 2, 4, 8, 16, 24}.
+  EXPECT_EQ(ts.space.param(ts.space.index_of("T")).values,
+            (std::vector<long long>{1, 2, 4, 8, 16, 24}));
+}
+
+TEST(FftTuneSpace, WindowIsNotLogScaled) {
+  const FftTuneSpace ts = make_tune_space(kDims, kRanks, Method::New);
+  EXPECT_EQ(ts.space.param(ts.space.index_of("W")).values,
+            (std::vector<long long>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(FftTuneSpace, ConfigParamsRoundTrip) {
+  const FftTuneSpace ts = make_tune_space(kDims, kRanks, Method::New);
+  Params p = Params::heuristic(kDims, kRanks).resolved(kDims, kRanks);
+  EXPECT_EQ(ts.to_params(ts.to_config(p)), p);
+}
+
+TEST(FftTuneSpace, ConstraintRejectsCrossParameterViolations) {
+  const FftTuneSpace ts = make_tune_space(kDims, kRanks, Method::New);
+  Params good = Params::heuristic(kDims, kRanks).resolved(kDims, kRanks);
+  EXPECT_TRUE(ts.constraint(ts.to_config(good)));
+
+  Params bad = good;
+  bad.Pz = bad.T * 2;  // Pz > T
+  EXPECT_FALSE(ts.constraint(ts.to_config(bad)));
+}
+
+TEST(FftTuneSpace, InitialSimplexIsDefaultPlusAxisSteps) {
+  const FftTuneSpace ts = make_tune_space(kDims, kRanks, Method::New);
+  ASSERT_EQ(ts.initial_simplex.size(), 11u);  // 10 dims + 1
+  const tune::Config& def = ts.initial_simplex[0];
+  for (std::size_t d = 0; d < 10; ++d) {
+    int differing = 0;
+    for (std::size_t i = 0; i < 10; ++i)
+      differing += (ts.initial_simplex[d + 1][i] != def[i]) ? 1 : 0;
+    EXPECT_LE(differing, 1) << "vertex " << d + 1;
+  }
+}
+
+TEST(FftTuneSpace, DefaultPointFollowsHeuristic) {
+  const FftTuneSpace ts = make_tune_space(kDims, kRanks, Method::New);
+  const Params def = ts.to_params(ts.initial_simplex[0]);
+  // Snapped to the reduced space, so exact equality holds where the
+  // heuristic value is itself a candidate.
+  EXPECT_EQ(def.W, 2);
+  EXPECT_EQ(def.T, 1);  // Nz/16 = 1 for Nz = 16
+  EXPECT_EQ(def.Fy, kRanks / 2);
+}
+
+TEST(FftTuner, ObjectiveRunsAndIsPositive) {
+  sim::Cluster cluster(kRanks, sim::Platform::umd_cluster());
+  const FftTuneSpace ts = make_tune_space(kDims, kRanks, Method::New);
+  FftTuneOptions opts;
+  const tune::Objective obj = make_fft3d_objective(cluster, ts, opts);
+  const double t =
+      obj(ts.to_config(Params::heuristic(kDims, kRanks).resolved(kDims, kRanks)));
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 60.0);
+}
+
+TEST(FftTuner, TuningFindsFeasibleParamsAndImproves) {
+  sim::Cluster cluster(kRanks, sim::Platform::umd_cluster());
+  FftTuneOptions opts;
+  opts.max_evaluations = 12;
+  const FftTuneResult res = tune_fft3d(cluster, kDims, Method::New, opts);
+  EXPECT_TRUE(res.best_params.feasible(kDims, kRanks));
+  EXPECT_GT(res.best_seconds, 0.0);
+  EXPECT_GT(res.outcome.search.evaluations, 0);
+  EXPECT_LE(res.outcome.search.evaluations, 12);
+  // The best found must be at least as good as the first point tried.
+  ASSERT_FALSE(res.outcome.search.trace.empty());
+  EXPECT_LE(res.best_seconds, res.outcome.search.trace.front());
+}
+
+TEST(FftTuner, ThTuningUsesThreeParams) {
+  sim::Cluster cluster(kRanks, sim::Platform::umd_cluster());
+  FftTuneOptions opts;
+  opts.max_evaluations = 8;
+  const FftTuneResult res = tune_fft3d(cluster, kDims, Method::Th, opts);
+  EXPECT_TRUE(res.best_params.feasible(kDims, kRanks));
+  EXPECT_GT(res.best_seconds, 0.0);
+}
+
+TEST(FftTuner, TunedResultStillComputesCorrectFft) {
+  sim::Cluster cluster(kRanks, sim::Platform::umd_cluster());
+  FftTuneOptions opts;
+  opts.max_evaluations = 6;
+  const FftTuneResult res = tune_fft3d(cluster, kDims, Method::New, opts);
+
+  const fft::ComplexVector input = testing::random_global(kDims, 5);
+  const fft::ComplexVector expect = testing::serial_forward(kDims, input);
+  Plan3dOptions popts;
+  popts.method = Method::New;
+  popts.params = res.best_params;
+  const fft::ComplexVector got =
+      testing::distributed_forward(kDims, kRanks, popts, input);
+  EXPECT_LT(testing::max_abs_diff(expect, got), testing::tol_for(kDims));
+}
+
+}  // namespace
+}  // namespace offt::core

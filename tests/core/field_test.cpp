@@ -1,0 +1,127 @@
+#include "core/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace offt::core {
+namespace {
+
+TEST(Decompose, DivisibleIsUniform) {
+  const Decomp d = decompose(16, 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(d.count(r), 4u);
+    EXPECT_EQ(d.offset(r), static_cast<std::size_t>(4 * r));
+  }
+  EXPECT_TRUE(d.uniform());
+}
+
+TEST(Decompose, NonDivisibleFrontLoadsExtras) {
+  const Decomp d = decompose(10, 4);
+  EXPECT_EQ(d.counts, (std::vector<std::size_t>{3, 3, 2, 2}));
+  EXPECT_EQ(d.offsets, (std::vector<std::size_t>{0, 3, 6, 8}));
+  EXPECT_FALSE(d.uniform());
+}
+
+TEST(Decompose, SingleRankTakesAll) {
+  const Decomp d = decompose(7, 1);
+  EXPECT_EQ(d.count(0), 7u);
+  EXPECT_EQ(d.offset(0), 0u);
+}
+
+TEST(Decompose, CountsSumToN) {
+  for (std::size_t n : {1u, 5u, 16u, 17u, 100u}) {
+    for (int p : {1, 2, 3, 7, 8}) {
+      if (n < static_cast<std::size_t>(p)) continue;
+      const Decomp d = decompose(n, p);
+      std::size_t sum = 0;
+      for (const std::size_t c : d.counts) sum += c;
+      EXPECT_EQ(sum, n) << n << "/" << p;
+    }
+  }
+}
+
+TEST(DistributedField, ScatterGatherInputRoundTrip) {
+  const Dims dims{6, 5, 4};
+  fft::ComplexVector global(dims.total());
+  util::Rng rng(1);
+  for (auto& v : global) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  DistributedField field(dims, 3);
+  field.scatter_input(global.data());
+  fft::ComplexVector back(dims.total());
+  field.gather_input(back.data());
+  EXPECT_EQ(global, back);
+}
+
+TEST(DistributedField, InputAtMatchesFill) {
+  const Dims dims{4, 4, 4};
+  DistributedField field(dims, 2);
+  field.fill_input([](std::size_t i, std::size_t j, std::size_t k) {
+    return fft::Complex{static_cast<double>(i * 100 + j * 10 + k), 0.0};
+  });
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_EQ(field.input_at(i, j, k).real(),
+                  static_cast<double>(i * 100 + j * 10 + k));
+}
+
+TEST(DistributedField, OutputIndexingZyx) {
+  const Dims dims{4, 6, 2};
+  const int p = 3;
+  DistributedField field(dims, p);
+  // Write directly in z-y-x y-slab layout, then read through output_at.
+  for (int r = 0; r < p; ++r) {
+    const std::size_t yc = field.y_decomp().count(r);
+    const std::size_t y0 = field.y_decomp().offset(r);
+    fft::Complex* s = field.slab(r);
+    for (std::size_t k = 0; k < dims.nz; ++k)
+      for (std::size_t jl = 0; jl < yc; ++jl)
+        for (std::size_t i = 0; i < dims.nx; ++i)
+          s[(k * yc + jl) * dims.nx + i] = {
+              static_cast<double>(i * 100 + (y0 + jl) * 10 + k), 0.0};
+  }
+  for (std::size_t i = 0; i < dims.nx; ++i)
+    for (std::size_t j = 0; j < dims.ny; ++j)
+      for (std::size_t k = 0; k < dims.nz; ++k)
+        EXPECT_EQ(field.output_at(i, j, k, OutputLayout::ZYX).real(),
+                  static_cast<double>(i * 100 + j * 10 + k));
+}
+
+TEST(DistributedField, OutputIndexingYzx) {
+  const Dims dims{5, 5, 3};
+  const int p = 2;
+  DistributedField field(dims, p);
+  for (int r = 0; r < p; ++r) {
+    const std::size_t yc = field.y_decomp().count(r);
+    const std::size_t y0 = field.y_decomp().offset(r);
+    fft::Complex* s = field.slab(r);
+    for (std::size_t jl = 0; jl < yc; ++jl)
+      for (std::size_t k = 0; k < dims.nz; ++k)
+        for (std::size_t i = 0; i < dims.nx; ++i)
+          s[(jl * dims.nz + k) * dims.nx + i] = {
+              static_cast<double>(i * 100 + (y0 + jl) * 10 + k), 0.0};
+  }
+  for (std::size_t i = 0; i < dims.nx; ++i)
+    for (std::size_t j = 0; j < dims.ny; ++j)
+      for (std::size_t k = 0; k < dims.nz; ++k)
+        EXPECT_EQ(field.output_at(i, j, k, OutputLayout::YZX).real(),
+                  static_cast<double>(i * 100 + j * 10 + k));
+}
+
+TEST(DistributedField, SlabSizeCoversInputAndOutput) {
+  // Non-divisible: input and output slabs differ in size; the buffer must
+  // fit both.
+  const Dims dims{10, 9, 8};
+  DistributedField field(dims, 4);
+  for (int r = 0; r < 4; ++r) {
+    const std::size_t in = field.x_decomp().count(r) * dims.ny * dims.nz;
+    const std::size_t out = field.y_decomp().count(r) * dims.nz * dims.nx;
+    EXPECT_GE(field.slab_elements(), in);
+    EXPECT_GE(field.slab_elements(), out);
+  }
+}
+
+}  // namespace
+}  // namespace offt::core

@@ -1,0 +1,236 @@
+// Cross-module integration tests: distributed spectral identities, a full
+// Poisson solve through the public API, successive transforms on one
+// array (the paper's motivating usage pattern), and engine edge
+// parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace offt::core {
+namespace {
+
+using testing::distributed_forward;
+using testing::max_abs_diff;
+using testing::random_global;
+using testing::serial_forward;
+using testing::tol_for;
+
+TEST(Integration, DistributedParseval) {
+  const Dims dims{12, 10, 8};
+  const int p = 2;
+  const fft::ComplexVector input = random_global(dims, 11);
+  const fft::ComplexVector spectrum =
+      distributed_forward(dims, p, {}, input);
+
+  double time_energy = 0, freq_energy = 0;
+  for (const auto& v : input) time_energy += std::norm(v);
+  for (const auto& v : spectrum) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy,
+              time_energy * static_cast<double>(dims.total()),
+              1e-8 * freq_energy);
+}
+
+TEST(Integration, DistributedLinearity) {
+  const Dims dims{8, 8, 6};
+  const int p = 4;
+  const fft::ComplexVector a = random_global(dims, 21);
+  const fft::ComplexVector b = random_global(dims, 22);
+  fft::ComplexVector combo(dims.total());
+  const fft::Complex ca{0.5, -2.0}, cb{1.5, 0.25};
+  for (std::size_t i = 0; i < combo.size(); ++i)
+    combo[i] = ca * a[i] + cb * b[i];
+
+  const fft::ComplexVector fa = distributed_forward(dims, p, {}, a);
+  const fft::ComplexVector fb = distributed_forward(dims, p, {}, b);
+  const fft::ComplexVector fc = distributed_forward(dims, p, {}, combo);
+  double worst = 0;
+  for (std::size_t i = 0; i < fc.size(); ++i)
+    worst = std::max(worst, std::abs(fc[i] - (ca * fa[i] + cb * fb[i])));
+  EXPECT_LT(worst, tol_for(dims));
+}
+
+TEST(Integration, PlaneWaveGivesSinglePeak) {
+  const Dims dims{16, 16, 16};
+  const int p = 4;
+  const std::size_t mx = 3, my = 5, mz = 7;
+  fft::ComplexVector wave(dims.total());
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 16; ++j)
+      for (std::size_t k = 0; k < 16; ++k) {
+        const double ph = 2.0 * std::numbers::pi *
+                          static_cast<double>(mx * i + my * j + mz * k) /
+                          16.0;
+        wave[(i * 16 + j) * 16 + k] = {std::cos(ph), std::sin(ph)};
+      }
+  const fft::ComplexVector spec = distributed_forward(dims, p, {}, wave);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 16; ++j)
+      for (std::size_t k = 0; k < 16; ++k) {
+        const double expect =
+            (i == mx && j == my && k == mz) ? 4096.0 : 0.0;
+        EXPECT_NEAR(std::abs(spec[(i * 16 + j) * 16 + k]), expect, 1e-8);
+      }
+}
+
+TEST(Integration, SpectralPoissonSolveThroughPublicApi) {
+  // The poisson_solver example distilled into a test: solve lap(u) = f
+  // for a manufactured solution and check the max error.
+  const std::size_t n = 16;
+  const Dims dims{n, n, n};
+  const int p = 4;
+  const double two_pi = 2.0 * std::numbers::pi;
+  auto solution = [&](double x, double y, double z) {
+    return std::sin(two_pi * x) * std::sin(two_pi * 2 * y) *
+           std::cos(two_pi * z);
+  };
+  const double factor = -(two_pi * two_pi) * (1 + 4 + 1);
+
+  DistributedField field(dims, p);
+  const double h = 1.0 / static_cast<double>(n);
+  field.fill_input([&](std::size_t i, std::size_t j, std::size_t k) {
+    return fft::Complex{factor * solution(h * i, h * j, h * k), 0.0};
+  });
+
+  Plan3dOptions fo;
+  fo.method = Method::New;
+  const Plan3d fwd(dims, p, fo);
+  Plan3dOptions bo = fo;
+  bo.direction = fft::Direction::Backward;
+  const Plan3d bwd(dims, p, bo);
+
+  auto wavenumber = [&](std::size_t m) {
+    const auto s = static_cast<long long>(m);
+    return static_cast<double>(s <= static_cast<long long>(n) / 2
+                                   ? s
+                                   : s - static_cast<long long>(n));
+  };
+  const OutputLayout layout = fwd.output_layout();
+  const Decomp& ydec = fwd.y_decomp();
+
+  sim::Cluster cluster(p, sim::Platform::ideal());
+  cluster.run([&](sim::Comm& comm) {
+    const int r = comm.rank();
+    fft::Complex* slab = field.slab(r);
+    fwd.execute(comm, slab);
+    const std::size_t yc = ydec.count(r), y0 = ydec.offset(r);
+    const double inv_n3 = 1.0 / static_cast<double>(dims.total());
+    for (std::size_t jl = 0; jl < yc; ++jl)
+      for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t i = 0; i < n; ++i) {
+          const double kx = two_pi * wavenumber(i);
+          const double ky = two_pi * wavenumber(y0 + jl);
+          const double kz = two_pi * wavenumber(k);
+          const double k2 = kx * kx + ky * ky + kz * kz;
+          const std::size_t idx = layout == OutputLayout::ZYX
+                                      ? (k * yc + jl) * n + i
+                                      : (jl * n + k) * n + i;
+          slab[idx] *= (k2 == 0.0 ? 0.0 : -1.0 / k2) * inv_n3;
+        }
+    bwd.execute(comm, slab);
+  });
+
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < n; ++k)
+        max_err = std::max(max_err,
+                           std::abs(field.input_at(i, j, k).real() -
+                                    solution(h * i, h * j, h * k)));
+  EXPECT_LT(max_err, 1e-10);
+}
+
+TEST(Integration, SuccessiveTransformsOnOneArray) {
+  // The usage pattern the paper optimizes for (§1): repeated forward +
+  // backward transforms of a single array, as in time-stepping codes.
+  const Dims dims{10, 12, 8};
+  const int p = 2;
+  const fft::ComplexVector orig = random_global(dims, 33);
+
+  Plan3dOptions fo;
+  fo.method = Method::New;
+  const Plan3d fwd(dims, p, fo);
+  Plan3dOptions bo = fo;
+  bo.direction = fft::Direction::Backward;
+  const Plan3d bwd(dims, p, bo);
+
+  DistributedField field(dims, p);
+  field.scatter_input(orig.data());
+  const double inv = 1.0 / static_cast<double>(dims.total());
+
+  sim::Cluster cluster(p, sim::Platform::umd_cluster());
+  cluster.run([&](sim::Comm& comm) {
+    fft::Complex* slab = field.slab(comm.rank());
+    for (int step = 0; step < 4; ++step) {
+      fwd.execute(comm, slab);
+      bwd.execute(comm, slab);
+      const std::size_t n = fwd.local_elements(comm.rank());
+      fft::scale(slab, n, inv);
+    }
+  });
+
+  fft::ComplexVector back(dims.total());
+  field.gather_input(back.data());
+  EXPECT_LT(max_abs_diff(back, orig), 4 * tol_for(dims));
+}
+
+TEST(Integration, WindowLargerThanTileCount) {
+  // W = 8 with only 2 tiles: the pipeline must degrade gracefully.
+  const Dims dims{8, 8, 8};
+  const int p = 2;
+  Params prm;
+  prm.T = 4;  // two tiles
+  prm.W = 8;
+  Plan3dOptions opts;
+  opts.method = Method::New;
+  opts.params = prm;
+
+  const fft::ComplexVector input = random_global(dims, 44);
+  const fft::ComplexVector expect = serial_forward(dims, input);
+  const fft::ComplexVector got = distributed_forward(dims, p, opts, input);
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(dims));
+}
+
+TEST(Integration, ExtremeTestFrequencies) {
+  const Dims dims{8, 8, 8};
+  const int p = 2;
+  Params prm;
+  prm.Fy = prm.Fp = prm.Fu = prm.Fx = 10000;  // far more tests than work
+  Plan3dOptions opts;
+  opts.method = Method::New;
+  opts.params = prm;
+
+  const fft::ComplexVector input = random_global(dims, 45);
+  const fft::ComplexVector expect = serial_forward(dims, input);
+  const fft::ComplexVector got = distributed_forward(dims, p, opts, input);
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(dims));
+}
+
+TEST(Integration, MakespanScalesDownWithMoreRanksOnIdealNetwork) {
+  // With free communication, more ranks = less work per rank.
+  const Dims dims{16, 16, 16};
+  auto makespan = [&](int p) {
+    const Plan3d plan(dims, p, {});
+    DistributedField field(dims, p);
+    field.fill_input([](std::size_t, std::size_t, std::size_t) {
+      return fft::Complex{1.0, -1.0};
+    });
+    sim::Cluster cluster(p, sim::Platform::ideal());
+    double t = 0;
+    cluster.run([&](sim::Comm& comm) {
+      const double t0 = comm.now();
+      plan.execute(comm, field.slab(comm.rank()));
+      const double dt = comm.allreduce_max(comm.now() - t0);
+      if (comm.rank() == 0) t = dt;
+    });
+    return t;
+  };
+  const double t1 = makespan(1);
+  const double t4 = makespan(4);
+  EXPECT_LT(t4, t1);
+}
+
+}  // namespace
+}  // namespace offt::core

@@ -1,0 +1,98 @@
+// Out-of-place transforms (§2.3): the result matches the in-place path
+// and the input is left untouched.
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace offt::core {
+namespace {
+
+using testing::max_abs_diff;
+using testing::random_global;
+
+TEST(OutOfPlace, MatchesInPlaceAndPreservesInput) {
+  const Dims dims{8, 12, 10};
+  const int p = 2;
+  const fft::ComplexVector input = random_global(dims, 71);
+
+  const Plan3d plan(dims, p, {});
+  DistributedField in_field(dims, p), out_field(dims, p);
+  in_field.scatter_input(input.data());
+  DistributedField pristine(dims, p);
+  pristine.scatter_input(input.data());
+
+  sim::Cluster cluster(p, sim::Platform::ideal());
+  cluster.run([&](sim::Comm& comm) {
+    const int r = comm.rank();
+    plan.execute(comm, in_field.slab(r), out_field.slab(r));
+  });
+
+  // Input slabs untouched.
+  for (int r = 0; r < p; ++r) {
+    const std::size_t n = plan.input_elements(r);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(in_field.slab(r)[i], pristine.slab(r)[i]) << "rank " << r;
+  }
+
+  // Output matches the in-place transform.
+  DistributedField ip_field(dims, p);
+  ip_field.scatter_input(input.data());
+  cluster.run([&](sim::Comm& comm) {
+    plan.execute(comm, ip_field.slab(comm.rank()));
+  });
+  fft::ComplexVector a(dims.total()), b(dims.total());
+  out_field.gather_output(a.data(), plan.output_layout());
+  ip_field.gather_output(b.data(), plan.output_layout());
+  EXPECT_LT(max_abs_diff(a, b), 1e-14);
+}
+
+TEST(OutOfPlace, BackwardToo) {
+  const Dims dims{8, 8, 8};
+  const int p = 2;
+  const fft::ComplexVector input = random_global(dims, 72);
+
+  Plan3dOptions fo;
+  const Plan3d fwd(dims, p, fo);
+  Plan3dOptions bo = fo;
+  bo.direction = fft::Direction::Backward;
+  const Plan3d bwd(dims, p, bo);
+
+  DistributedField field(dims, p), spec(dims, p), back(dims, p);
+  field.scatter_input(input.data());
+
+  sim::Cluster cluster(p, sim::Platform::ideal());
+  cluster.run([&](sim::Comm& comm) {
+    const int r = comm.rank();
+    fwd.execute(comm, field.slab(r), spec.slab(r));
+    bwd.execute(comm, spec.slab(r), back.slab(r));
+  });
+
+  fft::ComplexVector result(dims.total());
+  back.gather_input(result.data());
+  const double inv = 1.0 / static_cast<double>(dims.total());
+  for (auto& v : result) v *= inv;
+  EXPECT_LT(max_abs_diff(result, input), 1e-11);
+}
+
+TEST(OutOfPlace, RejectsAliasedBuffers) {
+  const Plan3d plan({8, 8, 8}, 2, {});
+  sim::Cluster cluster(2, sim::Platform::ideal());
+  EXPECT_THROW(cluster.run([&](sim::Comm& comm) {
+                 fft::ComplexVector buf(plan.local_elements(comm.rank()));
+                 plan.execute(comm, buf.data(), buf.data());
+               }),
+               std::logic_error);
+}
+
+TEST(OutOfPlace, InputElements) {
+  const Plan3d fwd({10, 9, 8}, 4, {});
+  EXPECT_EQ(fwd.input_elements(0), 3u * 9 * 8);
+  EXPECT_EQ(fwd.input_elements(3), 2u * 9 * 8);
+  Plan3dOptions bo;
+  bo.direction = fft::Direction::Backward;
+  const Plan3d bwd({10, 9, 8}, 4, bo);
+  EXPECT_EQ(bwd.input_elements(0), 3u * 8 * 10);  // y-slab
+}
+
+}  // namespace
+}  // namespace offt::core

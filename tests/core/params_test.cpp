@@ -1,0 +1,116 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::core {
+namespace {
+
+const Dims kDims{256, 256, 256};
+
+TEST(Params, HeuristicMatchesPaperDefaults) {
+  // §4.4: T = Nz/16, W = 2, Px = 8192/Ny, Pz = 8192/Ny/Px,
+  // Uy = 8192/Nx, Uz = 8192/Nx/Uy, F* = p/2.
+  const Params h = Params::heuristic(kDims, 16);
+  EXPECT_EQ(h.T, 16);
+  EXPECT_EQ(h.W, 2);
+  EXPECT_EQ(h.Px, 32);  // 8192/256
+  EXPECT_EQ(h.Pz, 1);   // 8192/256/32
+  EXPECT_EQ(h.Uy, 32);
+  EXPECT_EQ(h.Uz, 1);
+  EXPECT_EQ(h.Fy, 8);
+  EXPECT_EQ(h.Fp, 8);
+  EXPECT_EQ(h.Fu, 8);
+  EXPECT_EQ(h.Fx, 8);
+}
+
+TEST(Params, HeuristicNeverProducesZeroes) {
+  const Params h = Params::heuristic({16, 16, 8}, 3, /*cache_bytes=*/1024);
+  EXPECT_GE(h.T, 1);
+  EXPECT_GE(h.Px, 1);
+  EXPECT_GE(h.Pz, 1);
+  EXPECT_GE(h.Uy, 1);
+  EXPECT_GE(h.Uz, 1);
+  EXPECT_GE(h.Fy, 1);
+}
+
+TEST(Params, ResolvedFillsAutos) {
+  Params p;  // all auto
+  const Params r = p.resolved(kDims, 16);
+  EXPECT_TRUE(r.feasible(kDims, 16));
+  EXPECT_EQ(r, Params::heuristic(kDims, 16).resolved(kDims, 16));
+}
+
+TEST(Params, ResolvedKeepsExplicitValues) {
+  Params p;
+  p.T = 32;
+  p.W = 3;
+  p.Fy = 64;
+  const Params r = p.resolved(kDims, 16);
+  EXPECT_EQ(r.T, 32);
+  EXPECT_EQ(r.W, 3);
+  EXPECT_EQ(r.Fy, 64);
+  // Autos still filled.
+  EXPECT_GE(r.Px, 1);
+}
+
+TEST(Params, ResolvedClampsOutOfRange) {
+  Params p;
+  p.T = 100000;   // > Nz
+  p.Px = 100000;  // > Nx/p
+  p.Pz = 100000;  // > T
+  const Params r = p.resolved(kDims, 16);
+  EXPECT_EQ(r.T, 256);
+  EXPECT_EQ(r.Px, 16);
+  EXPECT_EQ(r.Pz, r.T);
+  EXPECT_TRUE(r.feasible(kDims, 16));
+}
+
+TEST(Params, FeasibilityConstraints) {
+  Params p = Params::heuristic(kDims, 16).resolved(kDims, 16);
+  EXPECT_TRUE(p.feasible(kDims, 16));
+
+  Params bad = p;
+  bad.Pz = bad.T + 1;  // §4.4's example: Pz must be <= T
+  EXPECT_FALSE(bad.feasible(kDims, 16));
+
+  bad = p;
+  bad.T = 0;
+  EXPECT_FALSE(bad.feasible(kDims, 16));
+
+  bad = p;
+  bad.T = 257;
+  EXPECT_FALSE(bad.feasible(kDims, 16));
+
+  bad = p;
+  bad.Px = 17;  // > Nx/p = 16
+  EXPECT_FALSE(bad.feasible(kDims, 16));
+
+  bad = p;
+  bad.Fy = -1;
+  EXPECT_FALSE(bad.feasible(kDims, 16));
+
+  bad = p;
+  bad.Uz = bad.T + 5;
+  EXPECT_FALSE(bad.feasible(kDims, 16));
+}
+
+TEST(Params, NonDivisibleBoundsUseCeil) {
+  // Nx = 10, p = 4 -> slabs of 3,3,2,2: Px may reach 3.
+  const Dims d{10, 9, 8};
+  Params p = Params::heuristic(d, 4).resolved(d, 4);
+  p.Px = 3;
+  EXPECT_TRUE(p.feasible(d, 4));
+  p.Px = 4;
+  EXPECT_FALSE(p.feasible(d, 4));
+}
+
+TEST(Params, ToStringListsAllTen) {
+  const Params p = Params::heuristic(kDims, 16);
+  const std::string s = p.to_string();
+  for (const char* key : {"T=", "W=", "Px=", "Pz=", "Uy=", "Uz=", "Fy=",
+                          "Fp=", "Fu=", "Fx="})
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+}
+
+}  // namespace
+}  // namespace offt::core

@@ -1,0 +1,296 @@
+// End-to-end correctness of every pipeline variant against the serial
+// 3-D FFT reference, across cluster sizes, shapes (square and not,
+// divisible and not) and parameter settings.
+#include "core/plan3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_helpers.hpp"
+
+namespace offt::core {
+namespace {
+
+using testing::distributed_forward;
+using testing::max_abs_diff;
+using testing::random_global;
+using testing::serial_forward;
+using testing::tol_for;
+
+struct Case {
+  Dims dims;
+  int p;
+  Method method;
+
+  friend std::ostream& operator<<(std::ostream& os, const Case& c) {
+    return os << to_string(c.method) << "_p" << c.p << "_" << c.dims.nx << "x"
+              << c.dims.ny << "x" << c.dims.nz;
+  }
+};
+
+class ForwardMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ForwardMatrix, MatchesSerialReference) {
+  const auto [dims, p, method] = GetParam();
+  const fft::ComplexVector input = random_global(dims, 42 + dims.total());
+  const fft::ComplexVector expect = serial_forward(dims, input);
+
+  Plan3dOptions opts;
+  opts.method = method;
+  const fft::ComplexVector got = distributed_forward(dims, p, opts, input);
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(dims));
+}
+
+std::vector<Case> forward_cases() {
+  std::vector<Case> cases;
+  const std::vector<std::pair<Dims, int>> shapes = {
+      {{8, 8, 8}, 1},    {{8, 8, 8}, 2},    {{8, 8, 8}, 4},
+      {{16, 16, 16}, 4}, {{8, 12, 10}, 2},  {{12, 8, 6}, 4},
+      {{10, 9, 8}, 3},   {{10, 9, 8}, 4},   // non-divisible
+      {{9, 10, 5}, 3},                      // Ny non-divisible only
+      {{16, 16, 12}, 8},
+  };
+  for (const auto& [dims, p] : shapes)
+    for (const Method m : {Method::New, Method::New0, Method::Th, Method::Th0,
+                           Method::FftwLike})
+      cases.push_back({dims, p, m});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ForwardMatrix,
+                         ::testing::ValuesIn(forward_cases()));
+
+class ParamSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParamSweep, RandomFeasibleParamsNeverChangeTheAnswer) {
+  // The ten parameters tune performance; correctness must be invariant.
+  const Dims dims{12, 16, 14};
+  const int p = 4;
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+
+  Params prm;
+  prm.T = rng.uniform_int(1, static_cast<long long>(dims.nz));
+  prm.W = rng.uniform_int(0, 5);
+  prm.Px = rng.uniform_int(1, 3);
+  prm.Pz = rng.uniform_int(1, prm.T);
+  prm.Uy = rng.uniform_int(1, 4);
+  prm.Uz = rng.uniform_int(1, prm.T);
+  prm.Fy = rng.uniform_int(0, 16);
+  prm.Fp = rng.uniform_int(0, 16);
+  prm.Fu = rng.uniform_int(0, 16);
+  prm.Fx = rng.uniform_int(0, 16);
+  ASSERT_TRUE(prm.feasible(dims, p)) << prm.to_string();
+
+  const fft::ComplexVector input = random_global(dims, 7);
+  const fft::ComplexVector expect = serial_forward(dims, input);
+
+  Plan3dOptions opts;
+  opts.method = Method::New;
+  opts.params = prm;
+  const fft::ComplexVector got = distributed_forward(dims, p, opts, input);
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(dims)) << prm.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ParamSweep, ::testing::Range(0, 16));
+
+TEST(Plan3d, SquareFastPathActivatesExactlyWhenValid) {
+  Plan3dOptions opts;
+  opts.method = Method::New;
+  EXPECT_TRUE(Plan3d({8, 8, 4}, 2, opts).square_fast_path());
+  EXPECT_EQ(Plan3d({8, 8, 4}, 2, opts).output_layout(), OutputLayout::YZX);
+  // Not square.
+  EXPECT_FALSE(Plan3d({8, 12, 4}, 2, opts).square_fast_path());
+  // Square but ragged decomposition.
+  EXPECT_FALSE(Plan3d({9, 9, 4}, 2, opts).square_fast_path());
+  // Explicitly disabled.
+  opts.square_path = Plan3dOptions::SquarePath::Off;
+  EXPECT_FALSE(Plan3d({8, 8, 4}, 2, opts).square_fast_path());
+  EXPECT_EQ(Plan3d({8, 8, 4}, 2, opts).output_layout(), OutputLayout::ZYX);
+  // TH never uses it.
+  opts.square_path = Plan3dOptions::SquarePath::Auto;
+  opts.method = Method::Th;
+  EXPECT_FALSE(Plan3d({8, 8, 4}, 2, opts).square_fast_path());
+  opts.method = Method::FftwLike;
+  EXPECT_FALSE(Plan3d({8, 8, 4}, 2, opts).square_fast_path());
+}
+
+TEST(Plan3d, SquarePathOnAndOffAgree) {
+  const Dims dims{12, 12, 8};
+  const int p = 4;
+  const fft::ComplexVector input = random_global(dims, 9);
+
+  Plan3dOptions on;
+  on.method = Method::New;
+  Plan3dOptions off = on;
+  off.square_path = Plan3dOptions::SquarePath::Off;
+
+  const fft::ComplexVector a = distributed_forward(dims, p, on, input);
+  const fft::ComplexVector b = distributed_forward(dims, p, off, input);
+  EXPECT_LT(max_abs_diff(a, b), 1e-12);
+}
+
+class RoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RoundTrip, BackwardInvertsForward) {
+  const auto [dims, p, method] = GetParam();
+  const fft::ComplexVector input = random_global(dims, 1000 + dims.total());
+
+  Plan3dOptions fwd_opts;
+  fwd_opts.method = method;
+  fwd_opts.direction = fft::Direction::Forward;
+  const Plan3d fwd(dims, p, fwd_opts);
+
+  Plan3dOptions bwd_opts = fwd_opts;
+  bwd_opts.direction = fft::Direction::Backward;
+  const Plan3d bwd(dims, p, bwd_opts);
+  ASSERT_EQ(fwd.output_layout(), bwd.output_layout());
+
+  DistributedField field(dims, p);
+  field.scatter_input(input.data());
+  sim::Cluster cluster(p, sim::Platform::ideal());
+  cluster.run([&](sim::Comm& comm) {
+    fft::Complex* slab = field.slab(comm.rank());
+    fwd.execute(comm, slab);
+    bwd.execute(comm, slab);
+  });
+
+  fft::ComplexVector back(dims.total());
+  field.gather_input(back.data());
+  const double inv = 1.0 / static_cast<double>(dims.total());
+  for (auto& v : back) v *= inv;
+  EXPECT_LT(max_abs_diff(back, input), tol_for(dims));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, RoundTrip,
+    ::testing::Values(Case{{8, 8, 8}, 4, Method::New},
+                      Case{{8, 8, 8}, 2, Method::New},     // square fast path
+                      Case{{8, 12, 10}, 2, Method::New},   // rectangular
+                      Case{{10, 9, 8}, 3, Method::New},    // non-divisible
+                      Case{{8, 12, 10}, 4, Method::New0},
+                      Case{{8, 12, 10}, 2, Method::FftwLike},
+                      Case{{12, 8, 6}, 4, Method::Th},
+                      Case{{16, 16, 12}, 8, Method::New}));
+
+TEST(Plan3d, TunableSectionEqualsFullExecuteAfterPretransform) {
+  const Dims dims{8, 12, 10};
+  const int p = 2;
+  const fft::ComplexVector input = random_global(dims, 31);
+
+  Plan3dOptions opts;
+  opts.method = Method::New;
+  const Plan3d plan(dims, p, opts);
+
+  // Path A: full execute.
+  const fft::ComplexVector full =
+      distributed_forward(dims, p, opts, input);
+
+  // Path B: serial pretransform, then only the tunable section.
+  DistributedField field(dims, p);
+  field.scatter_input(input.data());
+  for (int r = 0; r < p; ++r) plan.run_pretransform(field.slab(r), r);
+  sim::Cluster cluster(p, sim::Platform::ideal());
+  cluster.run([&](sim::Comm& comm) {
+    plan.execute_tunable_section(comm, field.slab(comm.rank()));
+  });
+  fft::ComplexVector sectioned(dims.total());
+  field.gather_output(sectioned.data(), plan.output_layout());
+
+  EXPECT_LT(max_abs_diff(full, sectioned), 1e-12);
+}
+
+TEST(Plan3d, BreakdownCoversWholeExecution) {
+  const Dims dims{16, 16, 16};
+  const int p = 4;
+  const fft::ComplexVector input = random_global(dims, 77);
+
+  const Plan3d plan(dims, p, {});
+  DistributedField field(dims, p);
+  field.scatter_input(input.data());
+
+  sim::Cluster cluster(p, sim::Platform::umd_cluster());
+  cluster.run([&](sim::Comm& comm) {
+    StepBreakdown bd;
+    const double t0 = comm.now();
+    plan.execute(comm, field.slab(comm.rank()), &bd);
+    const double elapsed = comm.now() - t0;
+    // Every step category is timed contiguously, so the parts must add up
+    // to the whole (small slack for the untimed glue between sections).
+    EXPECT_LE(bd.total(), elapsed * 1.001 + 1e-9);
+    EXPECT_GE(bd.total(), elapsed * 0.90);
+    EXPECT_GT(bd[Step::FFTz], 0.0);
+    EXPECT_GT(bd[Step::FFTy], 0.0);
+    EXPECT_GT(bd[Step::Wait] + bd[Step::Ialltoall], 0.0);
+  });
+}
+
+TEST(Plan3d, BreakdownTestTimeAppearsOnlyWithPolling) {
+  const Dims dims{16, 16, 16};
+  const int p = 2;
+  const fft::ComplexVector input = random_global(dims, 78);
+
+  auto run_with = [&](Method m, long long f) {
+    Plan3dOptions opts;
+    opts.method = m;
+    opts.params.Fy = opts.params.Fp = opts.params.Fu = opts.params.Fx = f;
+    const Plan3d plan(dims, p, opts);
+    DistributedField field(dims, p);
+    field.scatter_input(input.data());
+    StepBreakdown out;
+    sim::Cluster cluster(p, sim::Platform::umd_cluster());
+    cluster.run([&](sim::Comm& comm) {
+      StepBreakdown bd;
+      plan.execute(comm, field.slab(comm.rank()), &bd);
+      if (comm.rank() == 0) out = bd;
+    });
+    return out;
+  };
+
+  EXPECT_GT(run_with(Method::New, 8)[Step::Test], 0.0);
+  EXPECT_EQ(run_with(Method::New0, 8)[Step::Test], 0.0);  // NEW-0 never polls
+  EXPECT_EQ(run_with(Method::FftwLike, 8)[Step::Test], 0.0);
+}
+
+TEST(Plan3d, ValidatesArguments) {
+  EXPECT_THROW(Plan3d({0, 8, 8}, 2, {}), std::logic_error);
+  EXPECT_THROW(Plan3d({8, 8, 8}, 0, {}), std::logic_error);
+  EXPECT_THROW(Plan3d({2, 8, 8}, 4, {}), std::logic_error);  // Nx < p
+
+  const Plan3d plan({8, 8, 8}, 2, {});
+  sim::Cluster wrong(3, sim::Platform::ideal());
+  EXPECT_THROW(wrong.run([&](sim::Comm& comm) {
+                 fft::ComplexVector slab(plan.local_elements(comm.rank()));
+                 plan.execute(comm, slab.data());
+               }),
+               std::logic_error);
+}
+
+TEST(Plan3d, SingleRankWorks) {
+  const Dims dims{6, 5, 7};
+  const fft::ComplexVector input = random_global(dims, 3);
+  const fft::ComplexVector expect = serial_forward(dims, input);
+  Plan3dOptions opts;
+  opts.method = Method::New;
+  const fft::ComplexVector got = distributed_forward(dims, 1, opts, input);
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(dims));
+}
+
+TEST(Plan3d, LocalElementsAccountsForBothSlabs) {
+  const Plan3d plan({10, 9, 8}, 4, {});
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GE(plan.local_elements(r),
+              plan.x_decomp().count(r) * 9u * 8u);
+    EXPECT_GE(plan.local_elements(r),
+              plan.y_decomp().count(r) * 8u * 10u);
+  }
+}
+
+TEST(Plan3d, MethodNames) {
+  EXPECT_STREQ(to_string(Method::New), "NEW");
+  EXPECT_STREQ(to_string(Method::FftwLike), "FFTW");
+  EXPECT_EQ(method_by_name("th0"), Method::Th0);
+  EXPECT_EQ(method_by_name("fftw"), Method::FftwLike);
+  EXPECT_THROW(method_by_name("p3dfft"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace offt::core

@@ -1,0 +1,63 @@
+// Shared helpers for the core test suites: run a distributed transform on
+// an ideal-network cluster and compare against the serial reference.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/plan3d.hpp"
+#include "fft/reference.hpp"
+#include "util/rng.hpp"
+
+namespace offt::core::testing {
+
+inline fft::ComplexVector random_global(const Dims& dims,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  fft::ComplexVector g(dims.total());
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return g;
+}
+
+inline double max_abs_diff(const fft::ComplexVector& a,
+                           const fft::ComplexVector& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+inline double tol_for(const Dims& dims) {
+  return 1e-11 * static_cast<double>(dims.total());
+}
+
+// Scatter -> distributed forward execute -> gather (x-y-z order).
+inline fft::ComplexVector distributed_forward(const Dims& dims, int p,
+                                              Plan3dOptions opts,
+                                              const fft::ComplexVector& input,
+                                              StepBreakdown* bd = nullptr) {
+  opts.direction = fft::Direction::Forward;
+  const Plan3d plan(dims, p, opts);
+  DistributedField field(dims, p);
+  field.scatter_input(input.data());
+
+  sim::Cluster cluster(p, sim::Platform::ideal());
+  cluster.run([&](sim::Comm& comm) {
+    StepBreakdown local;
+    plan.execute(comm, field.slab(comm.rank()), &local);
+    if (bd && comm.rank() == 0) *bd = local;
+  });
+
+  fft::ComplexVector out(dims.total());
+  field.gather_output(out.data(), plan.output_layout());
+  return out;
+}
+
+inline fft::ComplexVector serial_forward(const Dims& dims,
+                                         const fft::ComplexVector& input) {
+  fft::ComplexVector ref = input;
+  fft::fft3d_serial(ref.data(), dims.nx, dims.ny, dims.nz,
+                    fft::Direction::Forward);
+  return ref;
+}
+
+}  // namespace offt::core::testing

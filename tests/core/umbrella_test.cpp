@@ -1,0 +1,28 @@
+// Compile-and-link check of the umbrella header: one symbol from every
+// public namespace.
+#include "offt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EveryNamespaceIsReachable) {
+  using namespace offt;
+
+  const fft::Plan1d plan(8, fft::Direction::Forward);
+  EXPECT_EQ(plan.size(), 8u);
+
+  const sim::Platform platform = sim::Platform::ideal();
+  sim::Cluster cluster(2, platform);
+  EXPECT_EQ(cluster.size(), 2);
+
+  tune::SearchSpace space;
+  space.add("x", {1, 2, 3});
+  EXPECT_EQ(space.dims(), 1u);
+
+  const core::Plan3d plan3d({8, 8, 8}, 2, {});
+  EXPECT_EQ(plan3d.nranks(), 2);
+  EXPECT_STREQ(core::to_string(plan3d.method()), "NEW");
+}
+
+}  // namespace

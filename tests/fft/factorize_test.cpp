@@ -1,0 +1,87 @@
+#include "fft/factorize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::fft {
+namespace {
+
+std::size_t product_of_radices(const std::vector<Stage>& stages) {
+  std::size_t p = 1;
+  for (const Stage& s : stages) p *= s.radix;
+  return p;
+}
+
+TEST(Factorize, RadicesMultiplyToN) {
+  for (std::size_t n : {2u, 6u, 8u, 12u, 60u, 97u, 128u, 384u, 640u, 1000u}) {
+    const auto stages = factorize(n, {4, 2, 3, 5});
+    EXPECT_EQ(product_of_radices(stages), n) << "n=" << n;
+  }
+}
+
+TEST(Factorize, StageSubsizesAreConsistent) {
+  const auto stages = factorize(360, {4, 2, 3, 5});
+  std::size_t expect_m = 360;
+  for (const Stage& s : stages) {
+    expect_m /= s.radix;
+    EXPECT_EQ(s.m, expect_m);
+  }
+  EXPECT_EQ(stages.back().m, 1u);
+}
+
+TEST(Factorize, HonorsPreferenceOrder) {
+  const auto stages = factorize(16, {4, 2});
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].radix, 4u);
+  EXPECT_EQ(stages[1].radix, 4u);
+
+  const auto stages2 = factorize(16, {2, 4});
+  ASSERT_EQ(stages2.size(), 4u);
+  for (const Stage& s : stages2) EXPECT_EQ(s.radix, 2u);
+}
+
+TEST(Factorize, FallsBackToSmallestPrime) {
+  const auto stages = factorize(49, {4, 2, 3, 5});
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].radix, 7u);
+}
+
+TEST(Factorize, PrimeLength) {
+  const auto stages = factorize(97, {4, 2, 3, 5});
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].radix, 97u);
+  EXPECT_EQ(stages[0].m, 1u);
+}
+
+TEST(Factorize, LengthOneHasNoStages) {
+  EXPECT_TRUE(factorize(1, {4, 2}).empty());
+}
+
+TEST(Factorize, LargestPrimeFactor) {
+  EXPECT_EQ(largest_prime_factor(1), 1u);
+  EXPECT_EQ(largest_prime_factor(2), 2u);
+  EXPECT_EQ(largest_prime_factor(12), 3u);
+  EXPECT_EQ(largest_prime_factor(640), 5u);
+  EXPECT_EQ(largest_prime_factor(97), 97u);
+  EXPECT_EQ(largest_prime_factor(2 * 3 * 101), 101u);
+}
+
+TEST(Factorize, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(64), 64u);
+}
+
+TEST(Factorize, NextSmooth) {
+  EXPECT_EQ(next_smooth(1), 1u);
+  EXPECT_EQ(next_smooth(7), 8u);
+  EXPECT_EQ(next_smooth(11), 12u);
+  EXPECT_EQ(next_smooth(97), 100u);
+  EXPECT_EQ(next_smooth(128), 128u);
+}
+
+}  // namespace
+}  // namespace offt::fft

@@ -1,0 +1,137 @@
+// Additional FFT substrate coverage: move semantics, spectral identities
+// for structurally special inputs, and planner cache behaviour under
+// concurrent access patterns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "fft/plan1d.hpp"
+#include "fft/planner.hpp"
+#include "fft/reference.hpp"
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+ComplexVector random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+TEST(Plan1dExtra, MoveConstructionPreservesBehaviour) {
+  const std::size_t n = 48;
+  const ComplexVector in = random_signal(n, 1);
+  ComplexVector expect(n), got(n);
+
+  Plan1d original(n, Direction::Forward);
+  original.execute(in.data(), expect.data());
+
+  Plan1d moved = std::move(original);
+  moved.execute(in.data(), got.data());
+  EXPECT_EQ(moved.size(), n);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(expect[k] - got[k]), 0.0, 1e-15);
+}
+
+TEST(Plan1dExtra, DcBinIsTheSum) {
+  const std::size_t n = 37;
+  const ComplexVector x = random_signal(n, 2);
+  Complex sum{0, 0};
+  for (const Complex& v : x) sum += v;
+
+  ComplexVector fx(n);
+  Plan1d(n, Direction::Forward).execute(x.data(), fx.data());
+  EXPECT_NEAR(std::abs(fx[0] - sum), 0.0, 1e-11);
+}
+
+TEST(Plan1dExtra, RealInputHasConjugateSymmetry) {
+  const std::size_t n = 40;
+  util::Rng rng(3);
+  ComplexVector x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), 0.0};
+
+  ComplexVector fx(n);
+  Plan1d(n, Direction::Forward).execute(x.data(), fx.data());
+  for (std::size_t k = 1; k < n; ++k)
+    EXPECT_NEAR(std::abs(fx[k] - std::conj(fx[n - k])), 0.0, 1e-11)
+        << "k=" << k;
+}
+
+TEST(Plan1dExtra, EvenRealInputHasRealSpectrum) {
+  // x[j] = x[n-j] (even) and real -> X[k] real.
+  const std::size_t n = 32;
+  util::Rng rng(4);
+  ComplexVector x(n, Complex{0, 0});
+  x[0] = {rng.uniform(-1, 1), 0};
+  for (std::size_t j = 1; j <= n / 2; ++j) {
+    const double v = rng.uniform(-1, 1);
+    x[j] = {v, 0};
+    x[n - j] = {v, 0};
+  }
+  ComplexVector fx(n);
+  Plan1d(n, Direction::Forward).execute(x.data(), fx.data());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(fx[k].imag(), 0.0, 1e-11) << "k=" << k;
+}
+
+TEST(Plan1dExtra, UpsamplingByZeroStuffingReplicatesSpectrum) {
+  // Inserting a zero after every sample (length 2n) gives
+  // X2[k] = X[k mod n].
+  const std::size_t n = 24;
+  const ComplexVector x = random_signal(n, 5);
+  ComplexVector x2(2 * n, Complex{0, 0});
+  for (std::size_t j = 0; j < n; ++j) x2[2 * j] = x[j];
+
+  ComplexVector fx(n), fx2(2 * n);
+  Plan1d(n, Direction::Forward).execute(x.data(), fx.data());
+  Plan1d(2 * n, Direction::Forward).execute(x2.data(), fx2.data());
+  for (std::size_t k = 0; k < 2 * n; ++k)
+    EXPECT_NEAR(std::abs(fx2[k] - fx[k % n]), 0.0, 1e-10) << "k=" << k;
+}
+
+TEST(Plan1dExtra, BluesteinAgreesWithDirectOnSameLength) {
+  // 343 = 7^3 has only small factors (direct path); 347 is prime
+  // (Bluestein).  Both must match the naive DFT.
+  for (const std::size_t n : {343u, 347u}) {
+    const ComplexVector in = random_signal(n, n);
+    ComplexVector expect(n), got(n);
+    dft_1d_naive(in.data(), expect.data(), n, Direction::Forward);
+    const Plan1d plan(n, Direction::Forward);
+    plan.execute(in.data(), got.data());
+    double worst = 0;
+    for (std::size_t k = 0; k < n; ++k)
+      worst = std::max(worst, std::abs(expect[k] - got[k]));
+    EXPECT_LT(worst, 1e-8) << "n=" << n
+                           << " bluestein=" << plan.uses_bluestein();
+  }
+}
+
+TEST(PlannerExtra, ConcurrentLookupsReturnOnePlan) {
+  clear_plan_cache();
+  std::vector<std::shared_ptr<const Plan1d>> results(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&results, t] {
+      results[static_cast<std::size_t>(t)] =
+          plan_best_1d(144, Direction::Forward, Planning::Measure);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(results[0].get(), results[t].get());
+}
+
+TEST(PlannerExtra, CachedPlanSurvivesCacheClear) {
+  // shared_ptr semantics: clearing the cache must not invalidate plans
+  // already handed out.
+  const auto plan = plan_best_1d(60, Direction::Backward, Planning::Estimate);
+  clear_plan_cache();
+  ComplexVector buf = random_signal(60, 6);
+  plan->execute_inplace(buf.data());  // must not crash
+  EXPECT_EQ(plan->size(), 60u);
+}
+
+}  // namespace
+}  // namespace offt::fft

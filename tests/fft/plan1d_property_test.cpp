@@ -1,0 +1,142 @@
+// Mathematical invariants of the DFT, checked on the fast plans:
+// linearity, Parseval's theorem, forward/backward round trip, the shift
+// theorem, and the convolution theorem.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/plan1d.hpp"
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+ComplexVector random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+class FftProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftProperties, RoundTripRecoversInputTimesN) {
+  const std::size_t n = GetParam();
+  const ComplexVector orig = random_signal(n, n);
+  ComplexVector data = orig;
+
+  Plan1d(n, Direction::Forward).execute_inplace(data.data());
+  Plan1d(n, Direction::Backward).execute_inplace(data.data());
+  scale(data.data(), n, 1.0 / static_cast<double>(n));
+
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(data[i] - orig[i]), 0.0, 1e-11) << "n=" << n;
+}
+
+TEST_P(FftProperties, Linearity) {
+  const std::size_t n = GetParam();
+  const ComplexVector a = random_signal(n, 2 * n);
+  const ComplexVector b = random_signal(n, 2 * n + 1);
+  const Complex alpha{0.7, -1.3}, beta{-2.1, 0.4};
+
+  const Plan1d plan(n, Direction::Forward);
+  ComplexVector fa(n), fb(n), combo(n), fcombo(n);
+  plan.execute(a.data(), fa.data());
+  plan.execute(b.data(), fb.data());
+  for (std::size_t i = 0; i < n; ++i) combo[i] = alpha * a[i] + beta * b[i];
+  plan.execute(combo.data(), fcombo.data());
+
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(fcombo[i] - (alpha * fa[i] + beta * fb[i])), 0.0,
+                1e-10);
+}
+
+TEST_P(FftProperties, Parseval) {
+  const std::size_t n = GetParam();
+  const ComplexVector x = random_signal(n, 3 * n);
+  ComplexVector fx(n);
+  Plan1d(n, Direction::Forward).execute(x.data(), fx.data());
+
+  double time_energy = 0, freq_energy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    time_energy += std::norm(x[i]);
+    freq_energy += std::norm(fx[i]);
+  }
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * time_energy * static_cast<double>(n));
+}
+
+TEST_P(FftProperties, ImpulseTransformsToConstant) {
+  const std::size_t n = GetParam();
+  ComplexVector x(n, Complex{0, 0});
+  x[0] = {1.0, 0.0};
+  Plan1d(n, Direction::Forward).execute_inplace(x.data());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(x[k] - Complex{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST_P(FftProperties, ConstantTransformsToImpulse) {
+  const std::size_t n = GetParam();
+  ComplexVector x(n, Complex{1.0, 0.0});
+  Plan1d(n, Direction::Forward).execute_inplace(x.data());
+  EXPECT_NEAR(std::abs(x[0] - Complex{static_cast<double>(n), 0.0}), 0.0,
+              1e-10 * n);
+  for (std::size_t k = 1; k < n; ++k)
+    EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10 * n);
+}
+
+TEST_P(FftProperties, CircularShiftBecomesPhaseRamp) {
+  const std::size_t n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  const std::size_t shift = n / 3 + 1;
+  const ComplexVector x = random_signal(n, 4 * n);
+  ComplexVector shifted(n);
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = x[(i + n - shift % n) % n];
+
+  const Plan1d plan(n, Direction::Forward);
+  ComplexVector fx(n), fshift(n);
+  plan.execute(x.data(), fx.data());
+  plan.execute(shifted.data(), fshift.data());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const double phase = -2.0 * std::numbers::pi *
+                         static_cast<double>((k * (shift % n)) % n) /
+                         static_cast<double>(n);
+    const Complex ramp{std::cos(phase), std::sin(phase)};
+    EXPECT_NEAR(std::abs(fshift[k] - fx[k] * ramp), 0.0, 1e-10) << "k=" << k;
+  }
+}
+
+TEST_P(FftProperties, ConvolutionTheorem) {
+  const std::size_t n = GetParam();
+  const ComplexVector x = random_signal(n, 5 * n);
+  const ComplexVector h = random_signal(n, 5 * n + 1);
+
+  // Direct circular convolution.
+  ComplexVector direct(n, Complex{0, 0});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) direct[(i + j) % n] += x[i] * h[j];
+
+  // Via FFT.
+  const Plan1d fwd(n, Direction::Forward);
+  const Plan1d bwd(n, Direction::Backward);
+  ComplexVector fx(n), fh(n);
+  fwd.execute(x.data(), fx.data());
+  fwd.execute(h.data(), fh.data());
+  for (std::size_t k = 0; k < n; ++k) fx[k] *= fh[k];
+  bwd.execute_inplace(fx.data());
+  scale(fx.data(), n, 1.0 / static_cast<double>(n));
+
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(fx[i] - direct[i]), 0.0, 1e-9 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftProperties,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 6, 8,
+                                                        12, 16, 24, 30, 32,
+                                                        48, 64, 97, 100, 128,
+                                                        160));
+
+}  // namespace
+}  // namespace offt::fft

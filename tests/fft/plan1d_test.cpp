@@ -1,0 +1,199 @@
+// Correctness of Plan1d against the naive DFT across lengths that exercise
+// every butterfly (2/3/4/5, generic primes) and the Bluestein path.
+#include "fft/plan1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/reference.hpp"
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+ComplexVector random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+double max_abs_diff(const ComplexVector& a, const ComplexVector& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+// Relative-ish tolerance: naive DFT itself accumulates O(n) rounding.
+double tol_for(std::size_t n) { return 1e-10 * std::max<std::size_t>(n, 16); }
+
+class Plan1dMatchesNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Plan1dMatchesNaive, Forward) {
+  const std::size_t n = GetParam();
+  const ComplexVector in = random_signal(n, 1000 + n);
+  ComplexVector expect(n), got(n);
+  dft_1d_naive(in.data(), expect.data(), n, Direction::Forward);
+
+  const Plan1d plan(n, Direction::Forward);
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(n)) << "n=" << n;
+}
+
+TEST_P(Plan1dMatchesNaive, Backward) {
+  const std::size_t n = GetParam();
+  const ComplexVector in = random_signal(n, 2000 + n);
+  ComplexVector expect(n), got(n);
+  dft_1d_naive(in.data(), expect.data(), n, Direction::Backward);
+
+  const Plan1d plan(n, Direction::Backward);
+  plan.execute(in.data(), got.data());
+  EXPECT_LT(max_abs_diff(expect, got), tol_for(n)) << "n=" << n;
+}
+
+TEST_P(Plan1dMatchesNaive, InPlaceMatchesOutOfPlace) {
+  const std::size_t n = GetParam();
+  ComplexVector data = random_signal(n, 3000 + n);
+  ComplexVector out(n);
+
+  const Plan1d plan(n, Direction::Forward);
+  plan.execute(data.data(), out.data());
+  plan.execute_inplace(data.data());
+  EXPECT_LT(max_abs_diff(out, data), 1e-14) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lengths, Plan1dMatchesNaive,
+    ::testing::Values<std::size_t>(
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 24, 25, 27, 30, 32,
+        // generic small-prime butterflies
+        7 * 4, 11, 13, 11 * 3, 13 * 5, 49,
+        // paper-relevant sizes (and their halves)
+        64, 96, 128, 160, 192, 256, 384,
+        // Bluestein territory: primes and composites above the threshold
+        67, 97, 101, 2 * 67, 3 * 73));
+
+TEST(Plan1d, UsesBluesteinForHugePrimes) {
+  EXPECT_TRUE(Plan1d(97, Direction::Forward).uses_bluestein());
+  EXPECT_FALSE(Plan1d(96, Direction::Forward).uses_bluestein());
+  EXPECT_FALSE(Plan1d(55, Direction::Forward).uses_bluestein());
+}
+
+TEST(Plan1d, LengthOneIsIdentity) {
+  const Plan1d plan(1, Direction::Forward);
+  Complex v{2.0, -3.0};
+  Complex out;
+  plan.execute(&v, &out);
+  EXPECT_EQ(out, v);
+}
+
+TEST(Plan1d, ExecuteManyContiguousPencils) {
+  const std::size_t n = 24, count = 7;
+  ComplexVector data = random_signal(n * count, 99);
+  ComplexVector expect = data;
+
+  const Plan1d plan(n, Direction::Forward);
+  for (std::size_t t = 0; t < count; ++t)
+    plan.execute_inplace(expect.data() + t * n);
+  plan.execute_many_inplace(data.data(), static_cast<std::ptrdiff_t>(n),
+                            count);
+  EXPECT_LT(max_abs_diff(expect, data), 1e-14);
+}
+
+TEST(Plan1d, ExecuteManyOutOfPlaceWithDistinctDists) {
+  const std::size_t n = 16, count = 3;
+  const ComplexVector in = random_signal(n * count + 10, 7);
+  ComplexVector out(2 * n * count, Complex{0, 0});
+
+  const Plan1d plan(n, Direction::Forward);
+  plan.execute_many(in.data(), static_cast<std::ptrdiff_t>(n) + 3, out.data(),
+                    2 * static_cast<std::ptrdiff_t>(n), count);
+
+  for (std::size_t t = 0; t < count; ++t) {
+    ComplexVector expect(n);
+    plan.execute(in.data() + t * (n + 3), expect.data());
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(std::abs(expect[k] - out[t * 2 * n + k]), 0.0, 1e-14);
+  }
+}
+
+TEST(Plan1d, StridedMatchesContiguous) {
+  const std::size_t n = 36;
+  const std::ptrdiff_t stride = 5;
+  const ComplexVector contiguous = random_signal(n, 55);
+
+  ComplexVector strided(n * stride, Complex{-7, -7});
+  for (std::size_t k = 0; k < n; ++k) strided[k * stride] = contiguous[k];
+
+  const Plan1d plan(n, Direction::Forward);
+  ComplexVector expect(n);
+  plan.execute(contiguous.data(), expect.data());
+
+  ComplexVector out(n * stride, Complex{0, 0});
+  plan.execute_strided(strided.data(), stride, out.data(), stride);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(expect[k] - out[k * stride]), 0.0, 1e-12);
+  // Gaps must be untouched.
+  EXPECT_EQ(out[1], (Complex{0, 0}));
+}
+
+TEST(Plan1d, StridedInPlace) {
+  const std::size_t n = 20;
+  const std::ptrdiff_t stride = 3;
+  ComplexVector data = random_signal(n * stride, 77);
+  ComplexVector expect_in(n);
+  for (std::size_t k = 0; k < n; ++k) expect_in[k] = data[k * stride];
+
+  const Plan1d plan(n, Direction::Backward);
+  ComplexVector expect(n);
+  plan.execute(expect_in.data(), expect.data());
+
+  plan.execute_strided(data.data(), stride, data.data(), stride);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(expect[k] - data[k * stride]), 0.0, 1e-12);
+}
+
+TEST(Plan1d, BluesteinStrided) {
+  const std::size_t n = 67;  // prime above the Bluestein threshold
+  const std::ptrdiff_t stride = 2;
+  const ComplexVector contiguous = random_signal(n, 11);
+  ComplexVector strided(n * stride);
+  for (std::size_t k = 0; k < n; ++k) strided[k * stride] = contiguous[k];
+
+  const Plan1d plan(n, Direction::Forward);
+  ComplexVector expect(n), got(n * stride);
+  plan.execute(contiguous.data(), expect.data());
+  plan.execute_strided(strided.data(), stride, got.data(), stride);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(expect[k] - got[k * stride]), 0.0, 1e-9);
+}
+
+TEST(Plan1d, RadixPreferenceChangesStagesNotResult) {
+  const std::size_t n = 64;
+  const ComplexVector in = random_signal(n, 5);
+
+  const Plan1d p42(n, Direction::Forward, {{4, 2}});
+  const Plan1d p2(n, Direction::Forward, {{2}});
+  EXPECT_NE(p42.stages().size(), p2.stages().size());
+
+  ComplexVector a(n), b(n);
+  p42.execute(in.data(), a.data());
+  p2.execute(in.data(), b.data());
+  EXPECT_LT(max_abs_diff(a, b), 1e-12);
+}
+
+TEST(Plan1d, ScaleHelper) {
+  ComplexVector v{{2, 4}, {-6, 8}};
+  scale(v.data(), v.size(), 0.5);
+  EXPECT_EQ(v[0], (Complex{1, 2}));
+  EXPECT_EQ(v[1], (Complex{-3, 4}));
+}
+
+TEST(Plan1d, RejectsZeroLength) {
+  EXPECT_THROW(Plan1d(0, Direction::Forward), std::logic_error);
+}
+
+}  // namespace
+}  // namespace offt::fft

@@ -1,0 +1,68 @@
+#include "fft/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fft/reference.hpp"
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+TEST(Planner, AllModesProduceCorrectPlans) {
+  const std::size_t n = 96;
+  util::Rng rng(1);
+  ComplexVector in(n), expect(n), got(n);
+  for (auto& v : in) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  dft_1d_naive(in.data(), expect.data(), n, Direction::Forward);
+
+  for (Planning mode :
+       {Planning::Estimate, Planning::Measure, Planning::Patient}) {
+    clear_plan_cache();
+    const auto plan = plan_best_1d(n, Direction::Forward, mode);
+    ASSERT_NE(plan, nullptr);
+    plan->execute(in.data(), got.data());
+    for (std::size_t k = 0; k < n; ++k)
+      EXPECT_NEAR(std::abs(expect[k] - got[k]), 0.0, 1e-9)
+          << to_string(mode) << " k=" << k;
+  }
+}
+
+TEST(Planner, CacheHitReturnsSamePlanAndZeroTuningTime) {
+  clear_plan_cache();
+  double t1 = -1, t2 = -1;
+  const auto a = plan_best_1d(128, Direction::Forward, Planning::Measure, &t1);
+  const auto b = plan_best_1d(128, Direction::Forward, Planning::Measure, &t2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GT(t1, 0.0);
+  EXPECT_EQ(t2, 0.0);
+}
+
+TEST(Planner, DirectionsAreCachedSeparately) {
+  clear_plan_cache();
+  const auto f = plan_best_1d(64, Direction::Forward, Planning::Estimate);
+  const auto b = plan_best_1d(64, Direction::Backward, Planning::Estimate);
+  EXPECT_NE(f.get(), b.get());
+  EXPECT_EQ(f->direction(), Direction::Forward);
+  EXPECT_EQ(b->direction(), Direction::Backward);
+}
+
+TEST(Planner, PatientTakesAtLeastAsLongAsEstimate) {
+  clear_plan_cache();
+  double t_est = 0, t_pat = 0;
+  plan_best_1d(256, Direction::Forward, Planning::Estimate, &t_est);
+  clear_plan_cache();
+  plan_best_1d(256, Direction::Forward, Planning::Patient, &t_pat);
+  // Patient measures several candidates several times; Estimate measures
+  // nothing.  The inequality is robust even on a noisy machine.
+  EXPECT_GE(t_pat, t_est);
+  EXPECT_GT(t_pat, 0.0);
+}
+
+TEST(Planner, ToString) {
+  EXPECT_STREQ(to_string(Planning::Estimate), "estimate");
+  EXPECT_STREQ(to_string(Planning::Measure), "measure");
+  EXPECT_STREQ(to_string(Planning::Patient), "patient");
+}
+
+}  // namespace
+}  // namespace offt::fft

@@ -1,0 +1,106 @@
+// Real-to-complex / complex-to-real transforms (the §2.3 technique the
+// paper notes its overlap method also applies to).
+#include "fft/real.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/reference.hpp"
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+class R2cLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(R2cLengths, MatchesComplexTransformOfRealInput) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = random_real(n, n);
+
+  ComplexVector cin(n), expect(n);
+  for (std::size_t j = 0; j < n; ++j) cin[j] = {x[j], 0.0};
+  dft_1d_naive(cin.data(), expect.data(), n, Direction::Forward);
+
+  const PlanR2c plan(n);
+  ComplexVector got(plan.spectrum_size());
+  plan.execute(x.data(), got.data());
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    EXPECT_NEAR(std::abs(got[k] - expect[k]), 0.0, 1e-10 * n)
+        << "n=" << n << " k=" << k;
+}
+
+TEST_P(R2cLengths, RoundTripScalesByN) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = random_real(n, 3 * n);
+  const PlanR2c plan(n);
+  ComplexVector spec(plan.spectrum_size());
+  std::vector<double> back(n);
+  plan.execute(x.data(), spec.data());
+  plan.execute_c2r(spec.data(), back.data());
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_NEAR(back[j], static_cast<double>(n) * x[j], 1e-10 * n)
+        << "n=" << n << " j=" << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, R2cLengths,
+                         ::testing::Values<std::size_t>(2, 4, 6, 8, 10, 12,
+                                                        16, 24, 30, 32, 48,
+                                                        64, 96, 128, 160));
+
+TEST(PlanR2c, DcAndNyquistAreReal) {
+  const std::size_t n = 16;
+  const std::vector<double> x = random_real(n, 9);
+  const PlanR2c plan(n);
+  ComplexVector spec(plan.spectrum_size());
+  plan.execute(x.data(), spec.data());
+  EXPECT_DOUBLE_EQ(spec[0].imag(), 0.0);
+  EXPECT_DOUBLE_EQ(spec[n / 2].imag(), 0.0);
+}
+
+TEST(PlanR2c, DcBinIsTheSum) {
+  const std::size_t n = 12;
+  const std::vector<double> x = random_real(n, 10);
+  double sum = 0;
+  for (const double v : x) sum += v;
+  const PlanR2c plan(n);
+  ComplexVector spec(plan.spectrum_size());
+  plan.execute(x.data(), spec.data());
+  EXPECT_NEAR(spec[0].real(), sum, 1e-12 * n);
+}
+
+TEST(PlanR2c, CosineGivesSingleBin) {
+  const std::size_t n = 32, mode = 5;
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j)
+    x[j] = std::cos(2.0 * std::numbers::pi * static_cast<double>(mode * j) /
+                    static_cast<double>(n));
+  const PlanR2c plan(n);
+  ComplexVector spec(plan.spectrum_size());
+  plan.execute(x.data(), spec.data());
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double expect = k == mode ? static_cast<double>(n) / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(spec[k]), expect, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(PlanR2c, RejectsOddLengths) {
+  EXPECT_THROW(PlanR2c(9), std::logic_error);
+  EXPECT_THROW(PlanR2c(1), std::logic_error);
+}
+
+TEST(PlanR2c, SpectrumSize) {
+  EXPECT_EQ(PlanR2c(8).spectrum_size(), 5u);
+  EXPECT_EQ(PlanR2c(10).spectrum_size(), 6u);
+}
+
+}  // namespace
+}  // namespace offt::fft

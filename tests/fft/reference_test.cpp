@@ -1,0 +1,102 @@
+#include "fft/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/plan1d.hpp"
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+ComplexVector random_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+TEST(NaiveDft, MatchesClosedFormForTinyInput) {
+  // n = 2: X0 = x0 + x1, X1 = x0 - x1.
+  const ComplexVector in{{1, 2}, {3, -4}};
+  ComplexVector out(2);
+  dft_1d_naive(in.data(), out.data(), 2, Direction::Forward);
+  EXPECT_NEAR(std::abs(out[0] - Complex{4, -2}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(out[1] - Complex{-2, 6}), 0.0, 1e-14);
+}
+
+TEST(NaiveDft, BackwardIsConjugateOfForwardOnConjugate) {
+  const std::size_t n = 9;
+  const ComplexVector x = random_data(n, 1);
+  ComplexVector conj_x(n);
+  for (std::size_t i = 0; i < n; ++i) conj_x[i] = std::conj(x[i]);
+
+  ComplexVector bwd(n), fwd_conj(n);
+  dft_1d_naive(x.data(), bwd.data(), n, Direction::Backward);
+  dft_1d_naive(conj_x.data(), fwd_conj.data(), n, Direction::Forward);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_NEAR(std::abs(bwd[k] - std::conj(fwd_conj[k])), 0.0, 1e-12);
+}
+
+TEST(Fft3dSerial, MatchesNaive3d) {
+  const std::size_t nx = 4, ny = 6, nz = 5;
+  const ComplexVector in = random_data(nx * ny * nz, 2);
+  ComplexVector expect(nx * ny * nz);
+  dft3d_naive(in.data(), expect.data(), nx, ny, nz, Direction::Forward);
+
+  ComplexVector got = in;
+  fft3d_serial(got.data(), nx, ny, nz, Direction::Forward);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(std::abs(got[i] - expect[i]), 0.0, 1e-10) << "i=" << i;
+}
+
+TEST(Fft3dSerial, CubeRoundTrip) {
+  const std::size_t n = 8;
+  const ComplexVector orig = random_data(n * n * n, 3);
+  ComplexVector data = orig;
+  fft3d_serial(data.data(), n, n, n, Direction::Forward);
+  fft3d_serial(data.data(), n, n, n, Direction::Backward);
+  const double inv = 1.0 / static_cast<double>(n * n * n);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] * inv - orig[i]), 0.0, 1e-11);
+}
+
+TEST(Fft3dSerial, SeparableInput) {
+  // A product input f(i,j,k) = a(i)b(j)c(k) transforms to the product of
+  // the 1-D transforms.
+  const std::size_t nx = 3, ny = 4, nz = 8;
+  const ComplexVector a = random_data(nx, 4), b = random_data(ny, 5),
+                      c = random_data(nz, 6);
+  ComplexVector f(nx * ny * nz);
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t k = 0; k < nz; ++k)
+        f[(i * ny + j) * nz + k] = a[i] * b[j] * c[k];
+
+  fft3d_serial(f.data(), nx, ny, nz, Direction::Forward);
+
+  ComplexVector fa(nx), fb(ny), fc(nz);
+  dft_1d_naive(a.data(), fa.data(), nx, Direction::Forward);
+  dft_1d_naive(b.data(), fb.data(), ny, Direction::Forward);
+  dft_1d_naive(c.data(), fc.data(), nz, Direction::Forward);
+
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t k = 0; k < nz; ++k)
+        EXPECT_NEAR(std::abs(f[(i * ny + j) * nz + k] - fa[i] * fb[j] * fc[k]),
+                    0.0, 1e-10);
+}
+
+TEST(Dft3dNaive, ImpulseGivesAllOnes) {
+  const std::size_t nx = 2, ny = 3, nz = 4;
+  ComplexVector in(nx * ny * nz, Complex{0, 0});
+  in[0] = {1, 0};
+  ComplexVector out(nx * ny * nz);
+  dft3d_naive(in.data(), out.data(), nx, ny, nz, Direction::Forward);
+  for (const Complex& v : out)
+    EXPECT_NEAR(std::abs(v - Complex{1, 0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace offt::fft

@@ -1,0 +1,112 @@
+#include "fft/transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace offt::fft {
+namespace {
+
+ComplexVector random_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ComplexVector v(n);
+  for (auto& c : v) c = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+struct Shape {
+  std::size_t rows, cols;
+};
+
+class Transpose2d : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(Transpose2d, BlockedMatchesNaive) {
+  const auto [rows, cols] = GetParam();
+  const ComplexVector in = random_data(rows * cols, rows * 31 + cols);
+  ComplexVector naive(rows * cols), blocked(rows * cols);
+  transpose_2d_naive(in.data(), rows, cols, naive.data());
+  transpose_2d_blocked(in.data(), rows, cols, blocked.data());
+  EXPECT_EQ(naive, blocked);
+}
+
+TEST_P(Transpose2d, MappingIsCorrect) {
+  const auto [rows, cols] = GetParam();
+  const ComplexVector in = random_data(rows * cols, 7);
+  ComplexVector out(rows * cols);
+  transpose_2d_blocked(in.data(), rows, cols, out.data());
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      EXPECT_EQ(out[c * rows + r], in[r * cols + c]);
+}
+
+TEST_P(Transpose2d, DoubleTransposeIsIdentity) {
+  const auto [rows, cols] = GetParam();
+  const ComplexVector in = random_data(rows * cols, 13);
+  ComplexVector once(rows * cols), twice(rows * cols);
+  transpose_2d_blocked(in.data(), rows, cols, once.data());
+  transpose_2d_blocked(once.data(), cols, rows, twice.data());
+  EXPECT_EQ(in, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Transpose2d,
+    ::testing::Values(Shape{1, 1}, Shape{1, 17}, Shape{17, 1}, Shape{4, 4},
+                      Shape{32, 32}, Shape{33, 31}, Shape{5, 100},
+                      Shape{100, 5}, Shape{64, 48}, Shape{40, 96}));
+
+TEST(TransposeInplaceSquare, MatchesOutOfPlace) {
+  for (std::size_t n : {1u, 2u, 7u, 32u, 33u, 64u}) {
+    ComplexVector a = random_data(n * n, n);
+    ComplexVector expect(n * n);
+    transpose_2d_naive(a.data(), n, n, expect.data());
+    transpose_2d_inplace_square(a.data(), n);
+    EXPECT_EQ(a, expect) << "n=" << n;
+  }
+}
+
+// Index helpers: slab is x-y-z row-major, so in[(i*y + j)*z + k].
+TEST(Permute3d, XyzToZxy) {
+  const std::size_t x = 3, y = 4, z = 5;
+  const ComplexVector in = random_data(x * y * z, 3);
+  ComplexVector out(x * y * z);
+  permute_xyz_to_zxy(in.data(), x, y, z, out.data());
+  for (std::size_t i = 0; i < x; ++i)
+    for (std::size_t j = 0; j < y; ++j)
+      for (std::size_t k = 0; k < z; ++k)
+        EXPECT_EQ(out[(k * x + i) * y + j], in[(i * y + j) * z + k]);
+}
+
+TEST(Permute3d, ZxyToXyzInvertsZxy) {
+  const std::size_t x = 4, y = 3, z = 6;
+  const ComplexVector in = random_data(x * y * z, 4);
+  ComplexVector mid(x * y * z), back(x * y * z);
+  permute_xyz_to_zxy(in.data(), x, y, z, mid.data());
+  permute_zxy_to_xyz(mid.data(), x, y, z, back.data());
+  EXPECT_EQ(in, back);
+}
+
+TEST(Permute3d, XyzToXzy) {
+  const std::size_t x = 2, y = 5, z = 3;
+  const ComplexVector in = random_data(x * y * z, 5);
+  ComplexVector out(x * y * z);
+  permute_xyz_to_xzy(in.data(), x, y, z, out.data());
+  for (std::size_t i = 0; i < x; ++i)
+    for (std::size_t j = 0; j < y; ++j)
+      for (std::size_t k = 0; k < z; ++k)
+        EXPECT_EQ(out[(i * z + k) * y + j], in[(i * y + j) * z + k]);
+}
+
+TEST(Permute3d, NaiveAndBlockedAgree) {
+  const std::size_t x = 6, y = 7, z = 8;
+  const ComplexVector in = random_data(x * y * z, 6);
+  ComplexVector a(x * y * z), b(x * y * z);
+  permute_xyz_to_zxy(in.data(), x, y, z, a.data(), /*blocked=*/true);
+  permute_xyz_to_zxy(in.data(), x, y, z, b.data(), /*blocked=*/false);
+  EXPECT_EQ(a, b);
+  permute_xyz_to_xzy(in.data(), x, y, z, a.data(), /*blocked=*/true);
+  permute_xyz_to_xzy(in.data(), x, y, z, b.data(), /*blocked=*/false);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace offt::fft

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace offt::sim {
+namespace {
+
+NetworkModel fast_model() {
+  NetworkModel m;
+  m.inter = {1e-6, 1e9};
+  m.intra = m.inter;
+  m.injection_overhead = 1e-7;
+  m.test_overhead = 0.0;
+  m.congestion = 0.0;
+  m.compute_scale = 0.0;
+  return m;
+}
+
+class AlltoallRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlltoallRanks, BlockingAlltoallPermutesBlocks) {
+  const int p = GetParam();
+  Cluster cluster(p, fast_model());
+  const std::size_t block = 16;  // ints per block
+  std::vector<std::vector<int>> results(p);
+
+  cluster.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<int> send(block * p), recv(block * p, -1);
+    for (int d = 0; d < p; ++d)
+      for (std::size_t i = 0; i < block; ++i)
+        send[d * block + i] = r * 1000000 + d * 1000 + static_cast<int>(i);
+    comm.alltoall(send.data(), recv.data(), block * sizeof(int));
+    results[r] = recv;
+  });
+
+  for (int r = 0; r < p; ++r) {
+    for (int s = 0; s < p; ++s)
+      for (std::size_t i = 0; i < block; ++i)
+        EXPECT_EQ(results[r][s * block + i],
+                  s * 1000000 + r * 1000 + static_cast<int>(i))
+            << "p=" << p << " r=" << r << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, AlltoallRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Alltoallv, RaggedBlockSizes) {
+  const int p = 4;
+  Cluster cluster(p, fast_model());
+  std::vector<std::vector<std::uint8_t>> results(p);
+
+  cluster.run([&](Comm& comm) {
+    const int r = comm.rank();
+    // Rank r sends (r + d + 1) bytes to rank d, each byte = 16*r + d.
+    std::vector<std::size_t> sbytes(p), sdispl(p), rbytes(p), rdispl(p);
+    std::size_t stotal = 0, rtotal = 0;
+    for (int d = 0; d < p; ++d) {
+      sbytes[d] = static_cast<std::size_t>(r + d + 1);
+      sdispl[d] = stotal;
+      stotal += sbytes[d];
+      rbytes[d] = static_cast<std::size_t>(d + r + 1);
+      rdispl[d] = rtotal;
+      rtotal += rbytes[d];
+    }
+    std::vector<std::uint8_t> send(stotal), recv(rtotal, 0xee);
+    for (int d = 0; d < p; ++d)
+      for (std::size_t i = 0; i < sbytes[d]; ++i)
+        send[sdispl[d] + i] = static_cast<std::uint8_t>(16 * r + d);
+
+    Request req = comm.ialltoallv(send.data(), sbytes.data(), sdispl.data(),
+                                  recv.data(), rbytes.data(), rdispl.data());
+    comm.wait(req);
+    results[r] = recv;
+  });
+
+  for (int r = 0; r < p; ++r) {
+    std::size_t off = 0;
+    for (int s = 0; s < p; ++s) {
+      const std::size_t n = static_cast<std::size_t>(s + r + 1);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(results[r][off + i], static_cast<std::uint8_t>(16 * s + r));
+      off += n;
+    }
+  }
+}
+
+TEST(Alltoall, ConcurrentWindowsDeliverIndependently) {
+  // W = 3 simultaneous non-blocking all-to-alls, completed out of order.
+  const int p = 4, windows = 3;
+  Cluster cluster(p, fast_model());
+  std::vector<std::vector<int>> results(p);
+
+  cluster.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<std::vector<int>> send(windows), recv(windows);
+    std::vector<Request> reqs;
+    for (int w = 0; w < windows; ++w) {
+      send[w].resize(p);
+      recv[w].assign(p, -1);
+      for (int d = 0; d < p; ++d) send[w][d] = 100 * w + 10 * r + d;
+      reqs.push_back(
+          comm.ialltoall(send[w].data(), recv[w].data(), sizeof(int)));
+    }
+    // Complete in reverse order.
+    for (int w = windows - 1; w >= 0; --w) comm.wait(reqs[w]);
+    std::vector<int> flat;
+    for (int w = 0; w < windows; ++w)
+      flat.insert(flat.end(), recv[w].begin(), recv[w].end());
+    results[r] = flat;
+  });
+
+  for (int r = 0; r < p; ++r)
+    for (int w = 0; w < windows; ++w)
+      for (int s = 0; s < p; ++s)
+        EXPECT_EQ(results[r][w * p + s], 100 * w + 10 * s + r);
+}
+
+TEST(Alltoall, SingleRankIsImmediateSelfCopy) {
+  Cluster cluster(1, fast_model());
+  const RunResult res = cluster.run([&](Comm& comm) {
+    const int v = 5;
+    int out = 0;
+    Request req = comm.ialltoall(&v, &out, sizeof(int));
+    EXPECT_TRUE(req.done());
+    comm.wait(req);
+    EXPECT_EQ(out, 5);
+  });
+  EXPECT_LT(res.makespan, 1e-6);
+}
+
+TEST(Barrier, SynchronizesVirtualClocks) {
+  const int p = 5;
+  Cluster cluster(p, fast_model());
+  const RunResult res = cluster.run([&](Comm& comm) {
+    comm.advance(static_cast<double>(comm.rank()));  // rank r at t=r
+    comm.barrier();
+    // Nobody can leave the barrier before the slowest entrant.
+    EXPECT_GE(comm.now(), 4.0);
+  });
+  for (double t : res.rank_times) EXPECT_GE(t, 4.0);
+}
+
+TEST(Bcast, DeliversFromEveryRoot) {
+  const int p = 5;
+  Cluster cluster(p, fast_model());
+  for (int root = 0; root < p; ++root) {
+    std::vector<int> got(p, -1);
+    cluster.run([&](Comm& comm) {
+      int v = comm.rank() == root ? 1234 + root : -1;
+      comm.bcast(&v, sizeof(int), root);
+      got[comm.rank()] = v;
+    });
+    for (int r = 0; r < p; ++r) EXPECT_EQ(got[r], 1234 + root) << root;
+  }
+}
+
+TEST(Allreduce, SumAndMax) {
+  const int p = 7;
+  Cluster cluster(p, fast_model());
+  cluster.run([&](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(mine), 28.0);  // 1+...+7
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(mine), 7.0);
+  });
+}
+
+TEST(Allreduce, SingleRankPassthrough) {
+  Cluster cluster(1, fast_model());
+  cluster.run([&](Comm& comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(3.5), 3.5);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(-2.0), -2.0);
+  });
+}
+
+TEST(Collectives, AlltoallTimeGrowsWithClusterSizeAtFixedPerPairBytes) {
+  // With per-pair block size fixed, more ranks -> more rounds -> more time.
+  const std::size_t block = 1 << 12;
+  auto measure = [&](int p) {
+    Cluster cluster(p, fast_model());
+    std::vector<char> send(block * p), recv(block * p);
+    const RunResult res = cluster.run([&](Comm& comm) {
+      comm.alltoall(send.data(), recv.data(), block);
+    });
+    return res.makespan;
+  };
+  const double t2 = measure(2), t4 = measure(4), t8 = measure(8);
+  EXPECT_LT(t2, t4);
+  EXPECT_LT(t4, t8);
+}
+
+}  // namespace
+}  // namespace offt::sim

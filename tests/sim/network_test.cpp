@@ -1,0 +1,79 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::sim {
+namespace {
+
+TEST(NetworkModel, SameNodeRespectsRanksPerNode) {
+  NetworkModel m;
+  m.ranks_per_node = 4;
+  EXPECT_TRUE(m.same_node(0, 3));
+  EXPECT_FALSE(m.same_node(3, 4));
+  EXPECT_TRUE(m.same_node(5, 6));
+  EXPECT_FALSE(m.same_node(0, 8));
+}
+
+TEST(NetworkModel, OneRankPerNodeIsNeverSameNode) {
+  NetworkModel m;
+  m.ranks_per_node = 1;
+  EXPECT_FALSE(m.same_node(0, 0));
+  EXPECT_FALSE(m.same_node(0, 1));
+}
+
+TEST(NetworkModel, LinkSelection) {
+  NetworkModel m;
+  m.ranks_per_node = 2;
+  m.inter = {10e-6, 1e8};
+  m.intra = {1e-6, 1e9};
+  EXPECT_DOUBLE_EQ(m.link(0, 1).alpha, 1e-6);
+  EXPECT_DOUBLE_EQ(m.link(0, 2).alpha, 10e-6);
+}
+
+TEST(NetworkModel, GammaGrowsWithClusterSize) {
+  NetworkModel m;
+  m.congestion = 0.1;
+  EXPECT_DOUBLE_EQ(m.gamma(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.gamma(2), 1.1);
+  EXPECT_DOUBLE_EQ(m.gamma(16), 1.4);
+  EXPECT_GT(m.gamma(256), m.gamma(16));
+}
+
+TEST(NetworkModel, WireTimeScalesWithBytes) {
+  NetworkModel m;
+  m.inter = {0.0, 100.0};  // 100 bytes/s
+  m.congestion = 0.0;
+  EXPECT_DOUBLE_EQ(m.wire_time(200, 0, 1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.wire_time(0, 0, 1, 2), 0.0);
+}
+
+TEST(Platform, PresetsHaveExpectedShape) {
+  const Platform umd = Platform::umd_cluster();
+  const Platform hopper = Platform::hopper();
+  // UMD: one rank per node over a slow fabric; Hopper: 8 ranks/node over a
+  // fast torus — so Hopper's inter-node link is strictly faster and its
+  // intra-node link faster still.
+  EXPECT_EQ(umd.net.ranks_per_node, 1);
+  EXPECT_EQ(hopper.net.ranks_per_node, 8);
+  EXPECT_LT(hopper.net.inter.alpha, umd.net.inter.alpha);
+  EXPECT_GT(hopper.net.inter.beta, umd.net.inter.beta);
+  EXPECT_GT(hopper.net.intra.beta, hopper.net.inter.beta);
+}
+
+TEST(Platform, IdealNetworkIsFree) {
+  const Platform ideal = Platform::ideal();
+  EXPECT_DOUBLE_EQ(ideal.net.inter.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.net.injection_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.net.test_overhead, 0.0);
+}
+
+TEST(Platform, ByName) {
+  EXPECT_EQ(Platform::by_name("umd").name, "umd-cluster");
+  EXPECT_EQ(Platform::by_name("umd-cluster").name, "umd-cluster");
+  EXPECT_EQ(Platform::by_name("hopper").name, "hopper");
+  EXPECT_EQ(Platform::by_name("ideal").name, "ideal");
+  EXPECT_THROW(Platform::by_name("bogus"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace offt::sim

@@ -1,0 +1,217 @@
+// Point-to-point semantics and hand-computed virtual timing.  All tests
+// use compute_scale = 0 so that only explicit advance() calls and modeled
+// overheads move the clocks, making every expectation exact.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace offt::sim {
+namespace {
+
+NetworkModel exact_model() {
+  NetworkModel m;
+  m.inter = {1.0, 100.0};  // alpha = 1 s, beta = 100 bytes/s
+  m.intra = m.inter;
+  m.ranks_per_node = 1;
+  m.injection_overhead = 0.1;
+  m.test_overhead = 0.0;
+  m.congestion = 0.0;
+  m.compute_scale = 0.0;
+  return m;
+}
+
+TEST(P2p, PayloadIsDelivered) {
+  Cluster cluster(2, exact_model());
+  int received = 0;
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int payload = 42;
+      comm.send(&payload, sizeof(int), 1, 7);
+    } else {
+      comm.recv(&received, sizeof(int), 0, 7);
+    }
+  });
+  EXPECT_EQ(received, 42);
+}
+
+TEST(P2p, HandComputedCompletionTime) {
+  // Sender posts at t=0.1 (injection).  Receiver advances 5 s, posts at
+  // 5.1.  start = max(0.1, 5.1, port=0) = 5.1, wire = 200/100 = 2,
+  // completion = 5.1 + 1 + 2 = 8.1.  Both waiters end at 8.1.
+  Cluster cluster(2, exact_model());
+  std::vector<char> payload(200, 'x'), sink(200);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request r = comm.isend(payload.data(), payload.size(), 1, 0);
+      comm.wait(r);
+    } else {
+      comm.advance(5.0);
+      Request r = comm.irecv(sink.data(), sink.size(), 0, 0);
+      comm.wait(r);
+    }
+  });
+  EXPECT_NEAR(res.rank_times[0], 8.1, 1e-12);
+  EXPECT_NEAR(res.rank_times[1], 8.1, 1e-12);
+  EXPECT_NEAR(res.makespan, 8.1, 1e-12);
+}
+
+TEST(P2p, SenderPortSerializesBackToBackMessages) {
+  // Receiver delays so both sends are posted first (at 0.1 and 0.2).
+  // Recvs post at 10.1 and 10.2.  Msg1: start 10.1, port busy until 12.1,
+  // completion 13.1.  Msg2: start = max(0.2, 10.2, 12.1) = 12.1,
+  // completion 15.1.
+  Cluster cluster(2, exact_model());
+  std::vector<char> a(200), b(200), ra(200), rb(200);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request r1 = comm.isend(a.data(), a.size(), 1, 1);
+      Request r2 = comm.isend(b.data(), b.size(), 1, 2);
+      comm.wait(r1);
+      comm.wait(r2);
+    } else {
+      comm.advance(10.0);
+      Request r1 = comm.irecv(ra.data(), ra.size(), 0, 1);
+      Request r2 = comm.irecv(rb.data(), rb.size(), 0, 2);
+      comm.wait(r1);
+      comm.wait(r2);
+    }
+  });
+  EXPECT_NEAR(res.rank_times[1], 15.1, 1e-12);
+  EXPECT_NEAR(res.rank_times[0], 15.1, 1e-12);
+}
+
+TEST(P2p, FifoMatchingPerTriple) {
+  // Two sends with identical (src, dst, tag) must match the two recvs in
+  // posting order.
+  Cluster cluster(2, exact_model());
+  int first = 0, second = 0;
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int one = 1, two = 2;
+      Request r1 = comm.isend(&one, sizeof(int), 1, 5);
+      Request r2 = comm.isend(&two, sizeof(int), 1, 5);
+      comm.wait(r1);
+      comm.wait(r2);
+    } else {
+      Request r1 = comm.irecv(&first, sizeof(int), 0, 5);
+      Request r2 = comm.irecv(&second, sizeof(int), 0, 5);
+      comm.wait(r1);
+      comm.wait(r2);
+    }
+  });
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST(P2p, TagsSeparateStreams) {
+  Cluster cluster(2, exact_model());
+  int got_a = 0, got_b = 0;
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 10, b = 20;
+      // Post in one order; receiver asks in the other.
+      Request r1 = comm.isend(&a, sizeof(int), 1, 100);
+      Request r2 = comm.isend(&b, sizeof(int), 1, 200);
+      comm.wait(r1);
+      comm.wait(r2);
+    } else {
+      Request rb = comm.irecv(&got_b, sizeof(int), 0, 200);
+      Request ra = comm.irecv(&got_a, sizeof(int), 0, 100);
+      comm.wait(rb);
+      comm.wait(ra);
+    }
+  });
+  EXPECT_EQ(got_a, 10);
+  EXPECT_EQ(got_b, 20);
+}
+
+TEST(P2p, ZeroByteMessageCarriesOnlyLatency) {
+  // start = max(0.1, 0.1) = 0.1, wire = 0, completion = 1.1.
+  Cluster cluster(2, exact_model());
+  const RunResult res = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(nullptr, 0, 1, 0);
+    } else {
+      comm.recv(nullptr, 0, 0, 0);
+    }
+  });
+  EXPECT_NEAR(res.makespan, 1.1, 1e-12);
+}
+
+TEST(P2p, WaitallCompletesEverything) {
+  Cluster cluster(3, exact_model());
+  std::vector<int> got(2, -1);
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<Request> reqs;
+      reqs.push_back(comm.irecv(&got[0], sizeof(int), 1, 0));
+      reqs.push_back(comm.irecv(&got[1], sizeof(int), 2, 0));
+      comm.waitall(reqs);
+      EXPECT_TRUE(reqs[0].done());
+      EXPECT_TRUE(reqs[1].done());
+    } else {
+      const int v = comm.rank() * 11;
+      comm.send(&v, sizeof(int), 0, 0);
+    }
+  });
+  EXPECT_EQ(got[0], 11);
+  EXPECT_EQ(got[1], 22);
+}
+
+TEST(P2p, TestDoesNotBlockAndChargesOverhead) {
+  NetworkModel m = exact_model();
+  m.test_overhead = 0.25;
+  Cluster cluster(2, m);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      int v = 0;
+      Request r = comm.irecv(&v, sizeof(int), 1, 0);
+      // Peer won't post for 10 virtual seconds; test must return false
+      // immediately (charging 0.25 each) instead of blocking.
+      EXPECT_FALSE(comm.test(r));
+      EXPECT_FALSE(comm.test(r));
+      EXPECT_EQ(comm.test_calls(), 2u);
+      comm.wait(r);
+      EXPECT_EQ(v, 99);
+    } else {
+      comm.advance(10.0);
+      const int v = 99;
+      comm.send(&v, sizeof(int), 0, 0);
+    }
+  });
+  // Rank 0: irecv at 0.1, two tests -> 0.6, then waits to completion
+  // (posts: send at 10.1; start 10.1; completion 11.1 + wire 4/100).
+  EXPECT_NEAR(res.rank_times[0], 10.1 + 1.0 + 0.04, 1e-9);
+}
+
+TEST(P2p, SelfMessageWorks) {
+  Cluster cluster(2, exact_model());
+  int got = 0;
+  cluster.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 7;
+      Request s = comm.isend(&v, sizeof(int), 0, 3);
+      Request r = comm.irecv(&got, sizeof(int), 0, 3);
+      comm.wait(s);
+      comm.wait(r);
+    }
+  });
+  EXPECT_EQ(got, 7);
+}
+
+TEST(P2p, InvalidRankOrTagThrows) {
+  Cluster cluster(2, exact_model());
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+                 if (comm.rank() == 0) comm.send(nullptr, 0, 5, 0);
+               }),
+               std::logic_error);
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+                 if (comm.rank() == 0) comm.send(nullptr, 0, 1, -3);
+               }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace offt::sim

@@ -1,0 +1,138 @@
+// The paper's central mechanism: a non-blocking all-to-all only makes
+// progress while its owner polls (manual progression, §3.3).  These tests
+// pin down that an un-polled ialltoall stalls after its first round and
+// that periodic test() calls let communication complete behind compute.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace offt::sim {
+namespace {
+
+NetworkModel exact_model() {
+  NetworkModel m;
+  m.inter = {0.5, 1000.0};
+  m.intra = m.inter;
+  m.injection_overhead = 0.0;
+  m.test_overhead = 0.0;
+  m.congestion = 0.0;
+  m.compute_scale = 0.0;
+  return m;
+}
+
+// One simulated 3-rank all-to-all with `compute` virtual seconds of work
+// between post and wait, polled `polls` times spread across the work.
+double run_overlap(int polls, double compute) {
+  const int p = 3;
+  const std::size_t block = 1000;  // 1 s of wire time per block
+  Cluster cluster(p, exact_model());
+  std::vector<char> send(block * p), recv(block * p);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    Request req = comm.ialltoall(send.data(), recv.data(), block);
+    const int chunks = polls + 1;
+    for (int c = 0; c < chunks; ++c) {
+      comm.advance(compute / chunks);
+      if (c + 1 < chunks) comm.test(req);
+    }
+    comm.wait(req);
+  });
+  return res.makespan;
+}
+
+TEST(ManualProgression, UnpolledAlltoallStallsAfterFirstRound) {
+  // p = 3: two rounds.  Round 1 completes at 1.5 (alpha 0.5 + wire 1.0),
+  // but with no polls round 2 is only posted from wait() at t = 10, so the
+  // total is 10 + 1.5 = 11.5.
+  EXPECT_NEAR(run_overlap(/*polls=*/0, /*compute=*/10.0), 11.5, 1e-9);
+}
+
+TEST(ManualProgression, PolledAlltoallOverlapsWithCompute) {
+  // With 9 polls (every 1 s of the 10 s of compute), the poll at t=2
+  // observes round 1 complete (1.5) and posts round 2, which completes at
+  // 3.5 < 10 — communication fully hidden behind compute.
+  EXPECT_NEAR(run_overlap(/*polls=*/9, /*compute=*/10.0), 10.0, 1e-9);
+}
+
+TEST(ManualProgression, FewPollsPartiallyHide) {
+  // One poll at t=5 posts round 2 then; it completes at 6.5 < 10, so the
+  // total is still 10 — but with compute = 3 s the single poll at 1.5
+  // posts round 2 at max(1.5, round1 completion 1.5) -> completes 3.0.
+  EXPECT_NEAR(run_overlap(/*polls=*/1, /*compute=*/10.0), 10.0, 1e-9);
+  EXPECT_NEAR(run_overlap(/*polls=*/1, /*compute=*/3.0), 3.0, 1e-9);
+  // With no polls and short compute the wait dominates: 3 + 1.5.
+  EXPECT_NEAR(run_overlap(/*polls=*/0, /*compute=*/3.0), 4.5, 1e-9);
+}
+
+TEST(ManualProgression, TestOverheadAccumulates) {
+  NetworkModel m = exact_model();
+  m.test_overhead = 0.01;
+  Cluster cluster(2, m);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    int v = 0;
+    Request req;
+    if (comm.rank() == 0) {
+      req = comm.irecv(&v, sizeof(v), 1, 0);
+    } else {
+      req = comm.isend(&v, sizeof(v), 0, 0);
+    }
+    for (int i = 0; i < 100; ++i) comm.test(req);
+    comm.wait(req);
+    EXPECT_EQ(comm.test_calls(), 100u);
+  });
+  // Both halves post at t=0, so the message completes at 0.504 on its own;
+  // the clocks are driven purely by 100 tests * 0.01 = 1 s of poll
+  // overhead.
+  EXPECT_NEAR(res.makespan, 1.0, 1e-9);
+}
+
+TEST(ManualProgression, WaitIsEagerLikeBlockingMpi) {
+  // A blocking alltoall (ialltoall + immediate wait) chains rounds at their
+  // exact completion times: p = 4 -> 3 rounds * 1.5 s = 4.5 s.
+  const int p = 4;
+  const std::size_t block = 1000;
+  Cluster cluster(p, exact_model());
+  std::vector<char> send(block * p), recv(block * p);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    comm.alltoall(send.data(), recv.data(), block);
+  });
+  EXPECT_NEAR(res.makespan, 4.5, 1e-9);
+}
+
+TEST(ManualProgression, LaggardPeerStallsEveryone) {
+  // Rank 2 enters the all-to-all 20 s late; peers cannot finish their
+  // rounds with it any earlier.
+  const int p = 3;
+  const std::size_t block = 1000;
+  Cluster cluster(p, exact_model());
+  std::vector<char> send(block * p), recv(block * p);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    if (comm.rank() == 2) comm.advance(20.0);
+    comm.alltoall(send.data(), recv.data(), block);
+  });
+  EXPECT_GE(res.makespan, 20.0 + 1.5);
+}
+
+TEST(ManualProgression, DataIntactUnderSparsePolling) {
+  // Correctness must not depend on polling frequency.
+  const int p = 4;
+  Cluster cluster(p, exact_model());
+  std::vector<std::vector<int>> results(p);
+  cluster.run([&](Comm& comm) {
+    const int r = comm.rank();
+    std::vector<int> send(p), recv(p, -1);
+    for (int d = 0; d < p; ++d) send[d] = 10 * r + d;
+    Request req = comm.ialltoall(send.data(), recv.data(), sizeof(int));
+    comm.advance(1.0);
+    comm.test(req);
+    comm.advance(50.0);
+    comm.wait(req);
+    results[r] = recv;
+  });
+  for (int r = 0; r < p; ++r)
+    for (int s = 0; s < p; ++s) EXPECT_EQ(results[r][s], 10 * s + r);
+}
+
+}  // namespace
+}  // namespace offt::sim

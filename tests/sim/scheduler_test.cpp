@@ -1,0 +1,178 @@
+// Scheduler-level behaviour: virtual clock charging, determinism,
+// deadlock detection, exception propagation, reuse of a Cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace offt::sim {
+namespace {
+
+NetworkModel exact_model() {
+  NetworkModel m;
+  m.inter = {1.0, 100.0};
+  m.intra = m.inter;
+  m.injection_overhead = 0.1;
+  m.test_overhead = 0.0;
+  m.congestion = 0.0;
+  m.compute_scale = 0.0;
+  return m;
+}
+
+TEST(Scheduler, AdvanceMovesVirtualClock) {
+  Cluster cluster(1, exact_model());
+  const RunResult res = cluster.run([&](Comm& comm) {
+    EXPECT_NEAR(comm.now(), 0.0, 1e-9);
+    comm.advance(2.5);
+    EXPECT_NEAR(comm.now(), 2.5, 1e-9);
+    comm.advance(0.5);
+    EXPECT_NEAR(comm.now(), 3.0, 1e-9);
+  });
+  EXPECT_NEAR(res.makespan, 3.0, 1e-9);
+  ASSERT_EQ(res.rank_times.size(), 1u);
+}
+
+TEST(Scheduler, AdvanceRejectsNegative) {
+  Cluster cluster(1, exact_model());
+  EXPECT_THROW(cluster.run([](Comm& comm) { comm.advance(-1.0); }),
+               std::logic_error);
+}
+
+TEST(Scheduler, RealComputeIsChargedWhenScaled) {
+  NetworkModel m = exact_model();
+  m.compute_scale = 1.0;
+  Cluster cluster(1, m);
+  const RunResult res = cluster.run([&](Comm& comm) {
+    // Burn a measurable amount of CPU.
+    volatile double sink = 0;
+    for (int i = 0; i < 20000000; ++i) sink = sink + 1e-9;
+    comm.advance(0.0);  // flush the measured segment into the clock
+  });
+  EXPECT_GT(res.makespan, 1e-3);  // 2e7 iterations take >> 1 ms
+}
+
+TEST(Scheduler, ComputeScaleZeroIgnoresRealCompute) {
+  Cluster cluster(1, exact_model());
+  const RunResult res = cluster.run([&](Comm& comm) {
+    volatile double sink = 0;
+    for (int i = 0; i < 5000000; ++i) sink = sink + 1e-9;
+    comm.advance(0.0);
+  });
+  EXPECT_DOUBLE_EQ(res.makespan, 0.0);
+}
+
+TEST(Scheduler, DeterministicVirtualTimesAcrossRuns) {
+  const int p = 6;
+  auto program = [](Comm& comm) {
+    const int r = comm.rank();
+    comm.advance(0.01 * r);
+    std::vector<int> send(comm.size()), recv(comm.size());
+    for (int d = 0; d < comm.size(); ++d) send[d] = r + d;
+    Request req = comm.ialltoall(send.data(), recv.data(), sizeof(int));
+    comm.advance(0.5);
+    comm.test(req);
+    comm.advance(0.5);
+    comm.wait(req);
+    comm.barrier();
+  };
+  Cluster cluster(p, exact_model());
+  const RunResult a = cluster.run(program);
+  const RunResult b = cluster.run(program);
+  ASSERT_EQ(a.rank_times.size(), b.rank_times.size());
+  for (int r = 0; r < p; ++r)
+    EXPECT_DOUBLE_EQ(a.rank_times[r], b.rank_times[r]) << "rank " << r;
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Scheduler, DeadlockIsDetected) {
+  Cluster cluster(2, exact_model());
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+                 int v = 0;
+                 // Both ranks receive; nobody sends.
+                 comm.recv(&v, sizeof(v), 1 - comm.rank(), 0);
+               }),
+               DeadlockError);
+}
+
+TEST(Scheduler, DeadlockMessageNamesBlockedRanks) {
+  Cluster cluster(3, exact_model());
+  try {
+    cluster.run([](Comm& comm) {
+      if (comm.rank() == 1) {
+        int v = 0;
+        comm.recv(&v, sizeof(v), 2, 0);  // never sent
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+  }
+}
+
+TEST(Scheduler, RankExceptionPropagates) {
+  Cluster cluster(4, exact_model());
+  try {
+    cluster.run([](Comm& comm) {
+      comm.advance(0.1);
+      if (comm.rank() == 2) throw std::runtime_error("boom from rank 2");
+      comm.barrier();  // others block; must be unwound by the abort
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from rank 2");
+  }
+}
+
+TEST(Scheduler, ClusterIsReusableAfterError) {
+  Cluster cluster(2, exact_model());
+  EXPECT_THROW(cluster.run([](Comm&) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // A clean run afterwards works and starts from fresh clocks.
+  const RunResult res = cluster.run([](Comm& comm) { comm.advance(1.0); });
+  EXPECT_NEAR(res.makespan, 1.0, 1e-12);
+}
+
+TEST(Scheduler, ManyRanksComplete) {
+  const int p = 64;
+  Cluster cluster(p, exact_model());
+  std::atomic<int> ran{0};
+  const RunResult res = cluster.run([&](Comm& comm) {
+    comm.advance(0.001 * comm.rank());
+    comm.barrier();
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), p);
+  EXPECT_EQ(static_cast<int>(res.rank_times.size()), p);
+}
+
+TEST(Scheduler, RankClocksAdvanceIndependently) {
+  Cluster cluster(3, exact_model());
+  const RunResult res = cluster.run([&](Comm& comm) {
+    for (int i = 0; i <= comm.rank(); ++i) comm.advance(1.5);
+  });
+  EXPECT_NEAR(res.rank_times[0], 1.5, 1e-12);
+  EXPECT_NEAR(res.rank_times[1], 3.0, 1e-12);
+  EXPECT_NEAR(res.rank_times[2], 4.5, 1e-12);
+  EXPECT_NEAR(res.makespan, 4.5, 1e-12);
+}
+
+TEST(Scheduler, MessagesPostedCounter) {
+  Cluster cluster(2, exact_model());
+  cluster.run([](Comm& comm) {
+    const std::uint64_t before = comm.messages_posted();
+    if (comm.rank() == 0) {
+      int v = 1;
+      comm.send(&v, sizeof(v), 1, 0);
+    } else {
+      int v = 0;
+      comm.recv(&v, sizeof(v), 0, 0);
+    }
+    EXPECT_EQ(comm.messages_posted(), before + 1);
+  });
+}
+
+}  // namespace
+}  // namespace offt::sim

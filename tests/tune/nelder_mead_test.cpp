@@ -1,0 +1,153 @@
+#include "tune/nelder_mead.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace offt::tune {
+namespace {
+
+SearchSpace grid2d() {
+  SearchSpace s;
+  std::vector<long long> vals;
+  for (long long v = 0; v <= 32; ++v) vals.push_back(v);
+  s.add("x", vals);
+  s.add("y", vals);
+  return s;
+}
+
+TEST(NelderMead, ConvergesOnConvexQuadratic) {
+  const SearchSpace space = grid2d();
+  int calls = 0;
+  Objective obj = [&](const Config& c) {
+    ++calls;
+    const double dx = static_cast<double>(c[0]) - 7.0;
+    const double dy = static_cast<double>(c[1]) - 21.0;
+    return dx * dx + dy * dy;
+  };
+  NelderMead nm(space, obj);
+  const SearchResult r = nm.run();
+  EXPECT_LE(std::llabs(r.best[0] - 7), 1);
+  EXPECT_LE(std::llabs(r.best[1] - 21), 1);
+  EXPECT_LT(r.best_value, 3.0);
+  EXPECT_EQ(r.evaluations, calls);
+}
+
+TEST(NelderMead, HistoryCacheAvoidsReruns) {
+  const SearchSpace space = grid2d();
+  int calls = 0;
+  Objective obj = [&](const Config& c) {
+    ++calls;
+    return std::abs(static_cast<double>(c[0]) - 16.0) +
+           std::abs(static_cast<double>(c[1]) - 16.0);
+  };
+  NelderMead nm(space, obj);
+  const SearchResult r = nm.run();
+  // Snapping to integers makes revisits inevitable near convergence; every
+  // one of them must be served from cache, not re-executed.
+  EXPECT_EQ(r.evaluations, calls);
+  EXPECT_GT(r.cache_hits, 0);
+}
+
+TEST(NelderMead, InfeasiblePointsAreNeverExecuted) {
+  const SearchSpace space = grid2d();
+  int calls = 0;
+  Objective obj = [&](const Config& c) {
+    ++calls;
+    // The objective would blow up on infeasible configs; the constraint
+    // must shield it.
+    EXPECT_LE(c[1], c[0]);
+    const double dx = static_cast<double>(c[0]) - 20.0;
+    const double dy = static_cast<double>(c[1]) - 10.0;
+    return dx * dx + dy * dy;
+  };
+  Constraint feasible = [](const Config& c) { return c[1] <= c[0]; };
+  NelderMead nm(space, obj, feasible);
+  const SearchResult r = nm.run();
+  EXPECT_TRUE(feasible(r.best));
+  EXPECT_LT(r.best_value, 30.0);  // near (20, 10)
+  EXPECT_GE(r.penalized, 0);
+  EXPECT_EQ(r.evaluations, calls);
+}
+
+TEST(NelderMead, RespectsEvaluationBudget) {
+  const SearchSpace space = grid2d();
+  NelderMeadOptions opts;
+  opts.max_evaluations = 10;
+  int calls = 0;
+  Objective obj = [&](const Config& c) {
+    ++calls;
+    return static_cast<double>(c[0] + c[1]);
+  };
+  NelderMead nm(space, obj, nullptr, opts);
+  nm.run();
+  EXPECT_LE(calls, 10);
+}
+
+TEST(NelderMead, CustomInitialSimplexIsUsed) {
+  const SearchSpace space = grid2d();
+  std::vector<Config> seen;
+  Objective obj = [&](const Config& c) {
+    seen.push_back(c);
+    const double dx = static_cast<double>(c[0]) - 2.0;
+    const double dy = static_cast<double>(c[1]) - 2.0;
+    return dx * dx + dy * dy;
+  };
+  NelderMead nm(space, obj);
+  nm.set_initial_simplex({{1, 1}, {3, 1}, {1, 3}});
+  const SearchResult r = nm.run();
+  // The three simplex vertices are evaluated first.
+  ASSERT_GE(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (Config{1, 1}));
+  EXPECT_EQ(seen[1], (Config{3, 1}));
+  EXPECT_EQ(seen[2], (Config{1, 3}));
+  EXPECT_LE(r.best_value, 2.0);
+}
+
+TEST(NelderMead, InitialSimplexSizeValidated) {
+  const SearchSpace space = grid2d();
+  NelderMead nm(space, [](const Config&) { return 0.0; });
+  EXPECT_THROW(nm.set_initial_simplex({{1, 1}}), std::logic_error);
+}
+
+TEST(NelderMead, TraceIsMonotoneNonIncreasing) {
+  const SearchSpace space = grid2d();
+  Objective obj = [](const Config& c) {
+    const double dx = static_cast<double>(c[0]) - 30.0;
+    const double dy = static_cast<double>(c[1]) - 3.0;
+    return dx * dx + 3.0 * dy * dy + 5.0;
+  };
+  NelderMead nm(space, obj);
+  const SearchResult r = nm.run();
+  ASSERT_FALSE(r.trace.empty());
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_LE(r.trace[i], r.trace[i - 1]);
+  EXPECT_DOUBLE_EQ(r.trace.back(), r.best_value);
+}
+
+TEST(NelderMead, OneDimensionalSpace) {
+  SearchSpace s;
+  s.add_log_scale("T", 1, 64);
+  Objective obj = [](const Config& c) {
+    const double v = static_cast<double>(c[0]);
+    return std::abs(v - 16.0) + 1.0;
+  };
+  NelderMead nm(s, obj);
+  const SearchResult r = nm.run();
+  EXPECT_EQ(r.best[0], 16);
+}
+
+TEST(NelderMead, SurvivesAllInfeasibleStart) {
+  SearchSpace s;
+  s.add("x", {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  // Only x >= 7 feasible; default simplex starts around the centre.
+  Constraint feasible = [](const Config& c) { return c[0] >= 7; };
+  Objective obj = [](const Config& c) { return static_cast<double>(c[0]); };
+  NelderMead nm(s, obj, feasible);
+  const SearchResult r = nm.run();
+  EXPECT_GE(r.best[0], 7);
+  EXPECT_LT(r.best_value, kInfeasible);
+}
+
+}  // namespace
+}  // namespace offt::tune

@@ -1,0 +1,87 @@
+#include "tune/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::tune {
+namespace {
+
+SearchSpace small_space() {
+  SearchSpace s;
+  s.add("a", {0, 1, 2, 3, 4, 5, 6, 7});
+  s.add("b", {0, 1, 2, 3});
+  return s;
+}
+
+TEST(RandomSearch, FindsGoodPointWithEnoughSamples) {
+  const SearchSpace space = small_space();
+  Objective obj = [](const Config& c) {
+    return static_cast<double>((c[0] - 5) * (c[0] - 5) + (c[1] - 2) * (c[1] - 2));
+  };
+  const SearchResult r = random_search(space, obj, nullptr, 200, 42);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+  EXPECT_EQ(r.best, (Config{5, 2}));
+  EXPECT_EQ(r.trace.size(), 200u);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  const SearchSpace space = small_space();
+  Objective obj = [](const Config& c) {
+    return static_cast<double>(c[0] * 4 + c[1]);
+  };
+  const SearchResult a = random_search(space, obj, nullptr, 50, 7);
+  const SearchResult b = random_search(space, obj, nullptr, 50, 7);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(RandomSearch, CachesRepeats) {
+  const SearchSpace space = small_space();  // only 32 configs
+  int calls = 0;
+  Objective obj = [&](const Config&) {
+    ++calls;
+    return 1.0;
+  };
+  const SearchResult r = random_search(space, obj, nullptr, 500, 1);
+  EXPECT_LE(calls, 32);
+  EXPECT_EQ(r.evaluations, calls);
+  EXPECT_EQ(r.cache_hits, 500 - calls - r.penalized);
+}
+
+TEST(RandomSearch, PenalizesInfeasibleForFree) {
+  const SearchSpace space = small_space();
+  int calls = 0;
+  Objective obj = [&](const Config&) {
+    ++calls;
+    return 1.0;
+  };
+  Constraint feasible = [](const Config& c) { return c[0] % 2 == 0; };
+  const SearchResult r = random_search(space, obj, feasible, 300, 9);
+  EXPECT_GT(r.penalized, 0);
+  for (int i = 0; i < 1; ++i) EXPECT_EQ(r.best[0] % 2, 0);
+}
+
+TEST(ExhaustiveSearch, FindsGlobalOptimum) {
+  const SearchSpace space = small_space();
+  Objective obj = [](const Config& c) {
+    return static_cast<double>((c[0] - 3) * (c[0] - 3)) +
+           0.5 * static_cast<double>((c[1] - 1) * (c[1] - 1));
+  };
+  const SearchResult r = exhaustive_search(space, obj, nullptr);
+  EXPECT_EQ(r.best, (Config{3, 1}));
+  EXPECT_EQ(r.evaluations, 32);
+}
+
+TEST(ExhaustiveSearch, SkipsInfeasible) {
+  const SearchSpace space = small_space();
+  Constraint feasible = [](const Config& c) { return c[1] > c[0]; };
+  Objective obj = [](const Config& c) {
+    return static_cast<double>(c[0] + c[1]);
+  };
+  const SearchResult r = exhaustive_search(space, obj, feasible);
+  EXPECT_EQ(r.best, (Config{0, 1}));
+  EXPECT_GT(r.penalized, 0);
+  EXPECT_EQ(r.evaluations + r.penalized, 32);
+}
+
+}  // namespace
+}  // namespace offt::tune

@@ -1,0 +1,103 @@
+#include "tune/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::tune {
+namespace {
+
+TEST(LogScaleValues, MatchesPaperExample) {
+  // §4.4: "when Nz = 24, T can be 1, 2, 4, 8, 16, or 24".
+  const auto v = log_scale_values(1, 24);
+  EXPECT_EQ(v, (std::vector<long long>{1, 2, 4, 8, 16, 24}));
+}
+
+TEST(LogScaleValues, BoundsAlwaysIncluded) {
+  EXPECT_EQ(log_scale_values(3, 20), (std::vector<long long>{3, 4, 8, 16, 20}));
+  EXPECT_EQ(log_scale_values(1, 1), (std::vector<long long>{1}));
+  EXPECT_EQ(log_scale_values(4, 4), (std::vector<long long>{4}));
+  EXPECT_EQ(log_scale_values(2, 8), (std::vector<long long>{2, 4, 8}));
+}
+
+TEST(LogScaleValues, NoDuplicatesWhenBoundIsPowerOfTwo) {
+  const auto v = log_scale_values(1, 16);
+  EXPECT_EQ(v, (std::vector<long long>{1, 2, 4, 8, 16}));
+}
+
+TEST(SearchSpace, AddSortsAndDedups) {
+  SearchSpace s;
+  s.add("x", {5, 1, 3, 3, 1});
+  EXPECT_EQ(s.param(0).values, (std::vector<long long>{1, 3, 5}));
+  EXPECT_EQ(s.dims(), 1u);
+}
+
+TEST(SearchSpace, IndexOf) {
+  SearchSpace s;
+  s.add("a", {1});
+  s.add("b", {2});
+  EXPECT_EQ(s.index_of("a"), 0u);
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_THROW(s.index_of("c"), std::logic_error);
+}
+
+TEST(SearchSpace, TotalConfigs) {
+  SearchSpace s;
+  s.add("a", {1, 2, 3});
+  s.add("b", {1, 2});
+  EXPECT_DOUBLE_EQ(s.total_configs(), 6.0);
+}
+
+TEST(SearchSpace, SnapRoundsAndClamps) {
+  SearchSpace s;
+  s.add("a", {10, 20, 40});
+  EXPECT_EQ(s.snap({0.4}), (Config{10}));
+  EXPECT_EQ(s.snap({0.6}), (Config{20}));
+  EXPECT_EQ(s.snap({7.0}), (Config{40}));
+  EXPECT_EQ(s.snap({-3.0}), (Config{10}));
+}
+
+TEST(SearchSpace, ToPointAndBack) {
+  SearchSpace s;
+  s.add_log_scale("T", 1, 24);
+  s.add("W", {0, 1, 2, 3, 4});
+  const Config c{16, 2};
+  EXPECT_EQ(s.snap(s.to_point(c)), c);
+}
+
+TEST(SearchSpace, NearestIndexPicksClosestCandidate) {
+  SearchSpace s;
+  s.add("a", {1, 4, 16});
+  EXPECT_DOUBLE_EQ(s.nearest_index(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(s.nearest_index(0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(s.nearest_index(0, 100), 2.0);
+}
+
+TEST(SearchSpace, RandomConfigStaysInSpace) {
+  SearchSpace s;
+  s.add("a", {1, 2, 4});
+  s.add("b", {10, 20});
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Config c = s.random_config(rng);
+    EXPECT_TRUE(c[0] == 1 || c[0] == 2 || c[0] == 4);
+    EXPECT_TRUE(c[1] == 10 || c[1] == 20);
+  }
+}
+
+TEST(SearchSpace, EnumerateVisitsEverything) {
+  SearchSpace s;
+  s.add("a", {1, 2});
+  s.add("b", {10, 20, 30});
+  const auto all = s.enumerate();
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.front(), (Config{1, 10}));
+  EXPECT_EQ(all.back(), (Config{2, 30}));
+}
+
+TEST(SearchSpace, EnumerateRejectsHugeSpaces) {
+  SearchSpace s;
+  for (int i = 0; i < 10; ++i) s.add("p" + std::to_string(i), {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_THROW(s.enumerate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace offt::tune

@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::util {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Cli cli = make_cli({"--ranks=16", "--platform=hopper"});
+  EXPECT_EQ(cli.get_int("ranks", 0), 16);
+  EXPECT_EQ(cli.get_string("platform", ""), "hopper");
+}
+
+TEST(Cli, SpaceSyntax) {
+  const Cli cli = make_cli({"--ranks", "8"});
+  EXPECT_EQ(cli.get_int("ranks", 0), 8);
+}
+
+TEST(Cli, BooleanFlag) {
+  const Cli cli = make_cli({"--quick", "--ranks=4"});
+  EXPECT_TRUE(cli.has("quick"));
+  EXPECT_FALSE(cli.has("full"));
+}
+
+TEST(Cli, Defaults) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_EQ(cli.get_string("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Cli, IntList) {
+  const Cli cli = make_cli({"--sizes=64,96,128"});
+  const auto v = cli.get_int_list("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 64);
+  EXPECT_EQ(v[2], 128);
+}
+
+TEST(Cli, IntListDefault) {
+  const Cli cli = make_cli({});
+  const auto v = cli.get_int_list("sizes", {32});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 32);
+}
+
+TEST(Cli, Positional) {
+  const Cli cli = make_cli({"input.dat", "--ranks=2", "output.dat"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.dat");
+  EXPECT_EQ(cli.positional()[1], "output.dat");
+}
+
+TEST(Cli, DoubleValue) {
+  const Cli cli = make_cli({"--alpha=1.5e-6"});
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0), 1.5e-6);
+}
+
+}  // namespace
+}  // namespace offt::util

@@ -1,0 +1,54 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(11);
+  bool seen[4] = {false, false, false, false};
+  for (int i = 0; i < 200; ++i) seen[r.uniform_int(0, 3)] = true;
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(Rng, MeanRoughlyCentered) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace offt::util

@@ -1,0 +1,66 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace offt::util {
+namespace {
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownDistribution) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-12);
+}
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+}
+
+TEST(Stats, SummaryIgnoresInputOrder) {
+  const Summary a = summarize({4.0, 1.0, 3.0, 2.0});
+  const Summary b = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 0.25);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 0.75);
+}
+
+TEST(Stats, CdfAt) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace offt::util

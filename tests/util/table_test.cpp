@@ -1,0 +1,48 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace offt::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"p", "N", "time"});
+  t.add_row({"16", "256", "0.369"});
+  t.add_row({"32", "640", "3.129"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Cells are right-aligned to the widest entry in the column.
+  EXPECT_NE(out.find(" p "), std::string::npos);
+  EXPECT_NE(out.find("| 16 "), std::string::npos);
+  EXPECT_NE(out.find("0.369"), std::string::npos);
+  EXPECT_NE(out.find("3.129"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| 1 "), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace offt::util
